@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Section V.D ablation: scratchpad chunk mapping vs the OpenMP-style
+ * schedule chunk (paper Fig 12). When the two chunk sizes match, the
+ * sequential vtxProp sweep of PageRank's vertexMap stays on the local
+ * scratchpad; a mismatch turns those accesses remote.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+using namespace omega;
+using namespace omega::bench;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Ablation: scratchpad chunk mapping vs schedule chunk "
+                "(PageRank, rMat)");
+
+    const DatasetSpec spec = *findDataset("rMat");
+    // The engine schedules with chunk 64 (EngineOptions default).
+    Table t({"sp chunk", "sched chunk", "sp local%", "on-chip MB",
+             "hottest PISC busy", "cycles"});
+    for (const unsigned sp_chunk : {64u, 1u, 16u, 256u}) {
+        const RunOutcome om = runOn(
+            spec, AlgorithmKind::PageRank, MachineKind::Omega,
+            [&](MachineParams &p) { p.sp_chunk_size = sp_chunk; });
+        const double local_frac =
+            static_cast<double>(om.stats.sp_local) /
+            static_cast<double>(std::max<std::uint64_t>(
+                om.stats.sp_local + om.stats.sp_remote, 1));
+        t.row()
+            .cell(std::uint64_t(sp_chunk))
+            .cell(std::uint64_t(64))
+            .cell(100.0 * local_frac, 1)
+            .cell(static_cast<double>(om.stats.onchip_bytes) / 1e6, 2)
+            .cell(om.stats.pisc_max_busy_cycles)
+            .cell(om.cycles);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nMatched chunks keep the sequential vertexMap sweep "
+                 "local (paper Fig 12: a mismatch makes half the "
+                 "accesses remote). The flip side this reproduction "
+                 "surfaces: with matched chunks the hottest vertices "
+                 "share one home scratchpad, concentrating PISC load; "
+                 "chunk=1 spreads the hubs across engines.\n";
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bench helper implementations.
+ */
+
+#include "bench_common.hh"
+
+#include <cmath>
+#include <functional>
+
+#include "graph/reorder.hh"
+#include "omega/omega_machine.hh"
+#include "sim/baseline_machine.hh"
+#include "util/logging.hh"
+
+namespace omega::bench {
+
+std::string
+machineKindName(MachineKind kind)
+{
+    switch (kind) {
+      case MachineKind::Baseline: return "baseline";
+      case MachineKind::Omega: return "omega";
+      case MachineKind::OmegaSpOnly: return "omega-sp-only";
+    }
+    return "?";
+}
+
+const Graph &
+datasetGraph(const DatasetSpec &spec)
+{
+    static std::map<std::string, Graph> cache;
+    auto it = cache.find(spec.name);
+    if (it == cache.end()) {
+        Graph g = reorderGraph(buildDataset(spec),
+                               ReorderKind::InDegreeNthElement);
+        it = cache.emplace(spec.name, std::move(g)).first;
+    }
+    return it->second;
+}
+
+MachineParams
+machineFor(MachineKind kind, const DatasetSpec &spec)
+{
+    MachineParams p;
+    switch (kind) {
+      case MachineKind::Baseline:
+        p = MachineParams::baseline();
+        break;
+      case MachineKind::Omega:
+        p = MachineParams::omega();
+        break;
+      case MachineKind::OmegaSpOnly:
+        p = MachineParams::omegaScratchpadOnly();
+        break;
+    }
+    return p.scaledCapacities(spec.capacity_scale);
+}
+
+RunOutcome
+runOn(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
+      const std::function<void(MachineParams &)> &tweak)
+{
+    const Graph &g = datasetGraph(spec);
+    MachineParams params = machineFor(kind, spec);
+    if (tweak)
+        tweak(params);
+
+    RunOutcome out;
+    out.params = params;
+    if (kind == MachineKind::Baseline) {
+        BaselineMachine m(params);
+        out.cycles = runAlgorithmOnMachine(algo, g, &m);
+        out.stats = m.report();
+    } else {
+        OmegaMachine m(params);
+        out.cycles = runAlgorithmOnMachine(algo, g, &m);
+        out.stats = m.report();
+    }
+    return out;
+}
+
+std::vector<DatasetSpec>
+datasetsFor(AlgorithmKind algo, const std::vector<DatasetSpec> &from)
+{
+    const AlgorithmMeta &meta = algorithmMeta(algo);
+    std::vector<DatasetSpec> out;
+    for (const auto &s : from) {
+        if (meta.needs_symmetric && s.directed)
+            continue;
+        out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<DatasetSpec>
+powerLawDatasets()
+{
+    std::vector<DatasetSpec> out;
+    for (const auto &s : simulationDatasets()) {
+        if (s.paper_power_law)
+            out.push_back(s);
+    }
+    return out;
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    omega_assert(!values.empty(), "geoMean of empty set");
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace omega::bench

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench binary builds the canonical dataset instances (seed 42),
+ * applies the paper's nth-element in-degree reordering, scales the
+ * machine capacities by the dataset's capacity_scale (see DESIGN.md,
+ * scaling policy) and runs algorithms through the requested machine.
+ */
+
+#ifndef OMEGA_BENCH_BENCH_COMMON_HH
+#define OMEGA_BENCH_BENCH_COMMON_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.hh"
+#include "graph/datasets.hh"
+#include "sim/memory_system.hh"
+#include "sim/params.hh"
+#include "sim/stats_report.hh"
+
+namespace omega::bench {
+
+/** Machine flavors the benches compare. */
+enum class MachineKind { Baseline, Omega, OmegaSpOnly };
+
+/** Name for table headers. */
+std::string machineKindName(MachineKind kind);
+
+/** One simulated run's outcome. */
+struct RunOutcome
+{
+    Cycles cycles = 0;
+    StatsReport stats;
+    MachineParams params;
+};
+
+/** Build + reorder the canonical instance of @p spec (cached per name). */
+const Graph &datasetGraph(const DatasetSpec &spec);
+
+/** Machine parameters for @p kind scaled for @p spec. */
+MachineParams machineFor(MachineKind kind, const DatasetSpec &spec);
+
+/**
+ * Run @p kind x @p algo on the dataset's canonical graph.
+ *
+ * @param spec dataset (capacities scale with it).
+ * @param algo algorithm.
+ * @param kind machine flavor.
+ * @param tweak optional parameter mutator applied before construction.
+ */
+RunOutcome runOn(const DatasetSpec &spec, AlgorithmKind algo,
+                 MachineKind kind,
+                 const std::function<void(MachineParams &)> &tweak = {});
+
+/** Datasets compatible with @p algo (symmetry requirement). */
+std::vector<DatasetSpec> datasetsFor(AlgorithmKind algo,
+                                     const std::vector<DatasetSpec> &from);
+
+/** The power-law subset used by the PageRank-centric figures. */
+std::vector<DatasetSpec> powerLawDatasets();
+
+/** Geometric mean of a non-empty vector. */
+double geoMean(const std::vector<double> &values);
+
+/**
+ * A counting-only MemorySystem for the profiling figures (4b / 5): it
+ * tracks vtxProp access distribution with no timing model, so full
+ * algorithm x dataset sweeps stay cheap.
+ */
+class ProfileMachine : public MemorySystem
+{
+  public:
+    explicit ProfileMachine(const MachineParams &params)
+        : params_(params)
+    {
+    }
+
+    void configure(const MachineConfig &config) override
+    {
+        config_ = config;
+    }
+    void compute(unsigned, std::uint64_t ops) override
+    {
+        stats_.instructions += ops;
+    }
+    void
+    memAccess(const MemAccess &access) override
+    {
+        ++stats_.l1_accesses; // total memory operations
+        if (access.cls == AccessClass::VertexProp)
+            count(access.vertex);
+    }
+    void
+    readSrcProp(unsigned, VertexId vertex, std::uint64_t,
+                std::uint32_t) override
+    {
+        ++stats_.l1_accesses;
+        count(vertex);
+    }
+    void
+    atomicUpdate(const AtomicRequest &request) override
+    {
+        ++stats_.l1_accesses;
+        ++stats_.atomics_total;
+        count(request.vertex);
+    }
+    void barrier() override {}
+    void endIteration() override {}
+    Cycles coreNow(unsigned) const override { return 0; }
+    Cycles cycles() const override { return 0; }
+    StatsReport report() const override { return stats_; }
+    const MachineParams &params() const override { return params_; }
+    std::string name() const override { return "profile"; }
+
+  private:
+    void
+    count(VertexId vertex)
+    {
+        ++stats_.vtxprop_accesses;
+        if (vertex < config_.hot_boundary)
+            ++stats_.vtxprop_hot_accesses;
+    }
+
+    MachineParams params_;
+    MachineConfig config_;
+    StatsReport stats_;
+};
+
+} // namespace omega::bench
+
+#endif // OMEGA_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 17 reproduction: on-chip traffic volume of PageRank.
+ * Paper: OMEGA reduces on-chip traffic by 3.2x on average (text also
+ * cites over 4x), thanks to word-granularity scratchpad packets and
+ * PISC offloading replacing cache-line transfers.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+using namespace omega;
+using namespace omega::bench;
+
+int
+main()
+{
+    printBanner(std::cout, "Fig 17: on-chip traffic (PageRank)");
+
+    Table t({"dataset", "baseline MB", "omega MB", "baseline flits",
+             "omega flits", "reduction"});
+    std::vector<double> reductions;
+    for (const auto &spec : powerLawDatasets()) {
+        const RunOutcome base =
+            runOn(spec, AlgorithmKind::PageRank, MachineKind::Baseline);
+        const RunOutcome om =
+            runOn(spec, AlgorithmKind::PageRank, MachineKind::Omega);
+        const double reduction =
+            static_cast<double>(base.stats.onchip_bytes) /
+            static_cast<double>(std::max<std::uint64_t>(
+                om.stats.onchip_bytes, 1));
+        reductions.push_back(reduction);
+        t.row()
+            .cell(spec.name)
+            .cell(static_cast<double>(base.stats.onchip_bytes) / 1e6, 2)
+            .cell(static_cast<double>(om.stats.onchip_bytes) / 1e6, 2)
+            .cell(base.stats.onchip_flits)
+            .cell(om.stats.onchip_flits)
+            .cell(formatSpeedup(reduction));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nGeomean traffic reduction: "
+              << formatSpeedup(geoMean(reductions))
+              << "  (paper: 3.2x average)\n";
+    return 0;
+}

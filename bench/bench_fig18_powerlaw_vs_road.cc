@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig 18 reproduction: power-law (lj) vs non-power-law (USA) on
+ * PageRank and BFS. Paper: OMEGA gains at most 1.15x on USA because only
+ * ~20% of its vtxProp accesses hit the top-20% vertices (vs 77% for lj).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+using namespace omega;
+using namespace omega::bench;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig 18: power-law (lj) vs non-power-law (USA)");
+
+    Table t({"workload", "baseline cycles", "omega cycles", "speedup",
+             "top-20% access%"});
+    for (const auto &ds : {"lj", "USA"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (AlgorithmKind algo :
+             {AlgorithmKind::PageRank, AlgorithmKind::BFS}) {
+            const RunOutcome base =
+                runOn(spec, algo, MachineKind::Baseline);
+            const RunOutcome om = runOn(spec, algo, MachineKind::Omega);
+            t.row()
+                .cell(algorithmName(algo) + "-" + ds)
+                .cell(base.cycles)
+                .cell(om.cycles)
+                .cell(formatSpeedup(static_cast<double>(base.cycles) /
+                                    static_cast<double>(om.cycles)))
+                .cell(100.0 * base.stats.hotVertexAccessFraction(), 1);
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper: lj gains ~2-3x (77% of accesses hit the hot "
+                 "set); USA is capped around 1.15x (~20%).\n";
+    return 0;
+}

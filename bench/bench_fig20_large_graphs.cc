@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fig 20 reproduction: performance on very large datasets (uk, twitter)
+ * via the high-level model, validated against the detailed simulator.
+ *
+ * Methodology mirrors the paper's: cycle simulation is intractable for
+ * the giants, so a spreadsheet-level model is fed measured LLC hit rates
+ * and hot-set access coverage; the model is first validated on mid-size
+ * graphs where the detailed simulation exists (paper: within 7%).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "model/highlevel_model.hh"
+#include "util/table.hh"
+
+using namespace omega;
+using namespace omega::bench;
+
+namespace {
+
+HighLevelInputs
+measureInputs(const DatasetSpec &spec, AlgorithmKind algo)
+{
+    const Graph &g = datasetGraph(spec);
+    HighLevelInputs in;
+    in.vertices = g.numVertices();
+    in.edges = g.numArcs();
+    in.atomics_per_edge = algo == AlgorithmKind::BFS ? 0.3 : 1.0;
+    in.vtxprop_accesses_per_edge = 1.0;
+    in.ops_per_edge = 8.0;
+    in.edge_bytes = 4.0;
+    in.vertices_per_edge = static_cast<double>(g.numVertices()) /
+                           static_cast<double>(g.numArcs());
+
+    // Hot-set coverage from the cheap counting profiler, with the hot
+    // boundary set to what the scaled scratchpads can actually hold.
+    const MachineParams op = machineFor(MachineKind::Omega, spec);
+    const std::uint32_t line =
+        algo == AlgorithmKind::BFS ? 5u : 9u; // prop bytes + active bit
+    const auto resident = static_cast<VertexId>(std::min<std::uint64_t>(
+        op.sp_total_bytes / line, g.numVertices()));
+
+    // Coverage of the top 20% from the cheap counting profiler (the
+    // framework configures hot_boundary to the paper's 20% default).
+    ProfileMachine profiler(machineFor(MachineKind::Baseline, spec));
+    runAlgorithmOnMachine(algo, g, &profiler);
+    const double cov20 = profiler.report().hotVertexAccessFraction();
+    const double cap_frac = static_cast<double>(resident) /
+                            static_cast<double>(g.numVertices());
+    // Concentration: the first x of vertices carry roughly
+    // cov20 * (x/0.2)^alpha of accesses with alpha ~ 0.45 on power law.
+    in.sp_capacity_coverage = cap_frac;
+    in.sp_access_coverage =
+        cap_frac >= 0.2
+            ? cov20
+            : cov20 * std::pow(cap_frac / 0.2, 0.45);
+
+    // Baseline LLC hit rate from a detailed PageRank-style pass is what
+    // the paper measures with VTune; reuse the simulator's cache model.
+    const RunOutcome base = runOn(spec, algo, MachineKind::Baseline);
+    in.llc_hit_rate = base.stats.l2HitRate();
+    return in;
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner(std::cout, "Fig 20: large datasets via the high-level "
+                           "model (uk, twitter)");
+
+    // Validation on mid-size graphs first (the paper reports <=7% gap).
+    std::cout << "Model validation against detailed simulation:\n";
+    Table v({"workload", "detailed speedup", "model speedup", "error%"});
+    for (const auto &ds : {"sd", "rMat", "lj"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (AlgorithmKind algo :
+             {AlgorithmKind::PageRank, AlgorithmKind::BFS}) {
+            const RunOutcome base =
+                runOn(spec, algo, MachineKind::Baseline);
+            const RunOutcome om = runOn(spec, algo, MachineKind::Omega);
+            const double detailed = static_cast<double>(base.cycles) /
+                                    static_cast<double>(om.cycles);
+            const HighLevelInputs in = measureInputs(spec, algo);
+            const auto est = estimateLargeGraph(
+                machineFor(MachineKind::Baseline, spec),
+                machineFor(MachineKind::Omega, spec), in);
+            v.row()
+                .cell(algorithmName(algo) + "-" + ds)
+                .cell(formatSpeedup(detailed))
+                .cell(formatSpeedup(est.speedup))
+                .cell(100.0 * std::abs(est.speedup - detailed) / detailed,
+                      1);
+        }
+    }
+    v.print(std::cout);
+
+    std::cout << "\nLarge-graph estimates:\n";
+    Table t({"workload", "sp coverage (capacity)", "access coverage",
+             "model speedup"});
+    for (const auto &ds : {"uk", "twitter"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (AlgorithmKind algo :
+             {AlgorithmKind::PageRank, AlgorithmKind::BFS}) {
+            const HighLevelInputs in = measureInputs(spec, algo);
+            const auto est = estimateLargeGraph(
+                machineFor(MachineKind::Baseline, spec),
+                machineFor(MachineKind::Omega, spec), in);
+            t.row()
+                .cell(algorithmName(algo) + "-" + ds)
+                .cell(formatPercent(in.sp_capacity_coverage))
+                .cell(formatPercent(in.sp_access_coverage))
+                .cell(formatSpeedup(est.speedup));
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper: twitter PageRank 1.68x with storage for only "
+                 "5% of vtxProp (47% of accesses); BFS 1.35x at 10%.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig 4 reproduction: cache profiling on the baseline CMP.
+ *
+ * (a) last-level cache hit rates stay low on natural graphs;
+ * (b) yet over 75% of the vtxProp accesses target the top-20%
+ *     most-connected vertices — the locality caches fail to capture.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+using namespace omega;
+using namespace omega::bench;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Fig 4(a): baseline cache hit rates / Fig 4(b): accesses "
+                "to the top-20% most-connected vertices");
+
+    const std::vector<std::string> datasets{"sd", "rMat", "wiki", "lj"};
+    const std::vector<AlgorithmKind> algos{
+        AlgorithmKind::PageRank, AlgorithmKind::BFS, AlgorithmKind::SSSP,
+        AlgorithmKind::CC};
+
+    Table t({"workload", "L1 hit%", "LLC hit%", "top-20% access%"});
+    std::vector<double> hot_fracs;
+    for (const auto &ds : datasets) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (AlgorithmKind algo : algos) {
+            if (algorithmMeta(algo).needs_symmetric && spec.directed)
+                continue;
+            const RunOutcome r = runOn(spec, algo, MachineKind::Baseline);
+            hot_fracs.push_back(r.stats.hotVertexAccessFraction());
+            t.row()
+                .cell(algorithmName(algo) + "-" + ds)
+                .cell(100.0 * r.stats.l1HitRate(), 1)
+                .cell(100.0 * r.stats.l2HitRate(), 1)
+                .cell(100.0 * r.stats.hotVertexAccessFraction(), 1);
+        }
+    }
+    // CC needs symmetric graphs; add the undirected ones for it.
+    for (const auto &ds : {"ap", "rPA"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        const RunOutcome r =
+            runOn(spec, AlgorithmKind::CC, MachineKind::Baseline);
+        hot_fracs.push_back(r.stats.hotVertexAccessFraction());
+        t.row()
+            .cell(std::string("CC-") + ds)
+            .cell(100.0 * r.stats.l1HitRate(), 1)
+            .cell(100.0 * r.stats.l2HitRate(), 1)
+            .cell(100.0 * r.stats.hotVertexAccessFraction(), 1);
+    }
+    t.print(std::cout);
+
+    double avg = 0.0;
+    for (double h : hot_fracs)
+        avg += h;
+    avg /= static_cast<double>(hot_fracs.size());
+    std::cout << "\nAverage top-20% vtxProp access share: "
+              << formatPercent(avg)
+              << "  (paper: consistently over 75% on natural graphs; "
+                 "LLC hit rates below 50%)\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table IV reproduction: peak power and area for one CMP node slice,
+ * baseline vs OMEGA.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "model/area_power.hh"
+#include "util/table.hh"
+
+using namespace omega;
+using namespace omega::bench;
+
+int
+main()
+{
+    printBanner(std::cout,
+                "Table IV: peak power and area per node (baseline vs "
+                "OMEGA)");
+
+    const NodeAreaPower base = nodeAreaPower(MachineParams::baseline());
+    const NodeAreaPower om = nodeAreaPower(MachineParams::omega());
+
+    Table t({"component", "baseline W", "baseline mm2", "omega W",
+             "omega mm2"});
+    auto add = [&](const char *name, const ComponentAP &b,
+                   const ComponentAP &o) {
+        t.row()
+            .cell(name)
+            .cell(b.power_w, 3)
+            .cell(b.area_mm2, 2)
+            .cell(o.power_w, 3)
+            .cell(o.area_mm2, 2);
+    };
+    add("Core", base.core, om.core);
+    add("L1 caches", base.l1, om.l1);
+    add("Scratchpad", base.scratchpad, om.scratchpad);
+    add("PISC", base.pisc, om.pisc);
+    add("L2 cache", base.l2, om.l2);
+    add("Node total", base.total(), om.total());
+    t.print(std::cout);
+
+    const double d_area = (om.total().area_mm2 - base.total().area_mm2) /
+                          base.total().area_mm2;
+    const double d_power = (om.total().power_w - base.total().power_w) /
+                           base.total().power_w;
+    std::cout << "\nOMEGA vs baseline: area " << formatPercent(d_area)
+              << ", peak power " << formatPercent(d_power)
+              << "  (paper: -2.31% area, +0.65% power)\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Biological-network scenario: the paper's introduction motivates OMEGA
+ * with protein-to-protein interaction and brain-connectivity analyses —
+ * scale-free networks whose hub proteins dominate the interactions.
+ *
+ * The pipeline a computational biologist would run: characterize the
+ * degree distribution (is it scale-free? what exponent?), find the hub
+ * proteins (betweenness via full Brandes), the interaction modules
+ * (connected components) and the local clustering (triangles) — then
+ * compare the baseline CMP against OMEGA on the same analyses.
+ *
+ * Run: ./build/examples/protein_interactions [proteins]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "algorithms/algorithms.hh"
+#include "algorithms/bc.hh"
+#include "algorithms/components.hh"
+#include "algorithms/triangle.hh"
+#include "graph/builder.hh"
+#include "graph/degree_stats.hh"
+#include "graph/generators.hh"
+#include "graph/reorder.hh"
+#include "omega/omega_machine.hh"
+#include "sim/baseline_machine.hh"
+#include "util/table.hh"
+
+using namespace omega;
+
+int
+main(int argc, char **argv)
+{
+    const VertexId proteins =
+        argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 12000;
+
+    // Interactomes grow by duplication/attachment — preferential
+    // attachment reproduces their scale-free shape.
+    Rng rng(23);
+    Graph g = buildGraph(proteins,
+                         generateBarabasiAlbert(proteins, 4, rng),
+                         {.symmetrize = true});
+    g = reorderGraph(g, ReorderKind::InDegreeNthElement);
+
+    // 1. Characterize: is the interactome scale-free?
+    const DegreeStats stats = computeDegreeStats(g);
+    const double alpha = powerLawExponentMLE(g, 6);
+    // Scale-free by the exponent fit; the paper's practical 80/20 rule
+    // is stricter (it asks for very concentrated hubs, not just a
+    // power-law tail).
+    const bool scale_free = alpha > 1.8 && alpha < 3.6;
+    std::cout << "interactome: " << g.numVertices() << " proteins, "
+              << g.numEdges() << " interactions\n"
+              << "fitted degree exponent alpha = "
+              << formatDouble(alpha, 2)
+              << (scale_free ? " (scale-free); " : " (not scale-free); ")
+              << "top-20% hub connectivity "
+              << formatPercent(stats.in_degree_connectivity)
+              << (stats.power_law ? " (meets" : " (below")
+              << " the paper's 80/20 rule)\n\n";
+
+    // 2. Hub proteins by betweenness (full Brandes from the main hub).
+    const VertexId hub = defaultRoot(g);
+    auto bc = runBcBrandes(g, hub);
+    std::vector<VertexId> by_centrality(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        by_centrality[v] = v;
+    std::partial_sort(by_centrality.begin(), by_centrality.begin() + 5,
+                      by_centrality.end(), [&](VertexId a, VertexId b) {
+                          return bc.centrality[a] > bc.centrality[b];
+                      });
+    std::cout << "most central proteins (betweenness from hub " << hub
+              << "):";
+    for (int i = 0; i < 5; ++i)
+        std::cout << " " << by_centrality[i];
+    std::cout << "\n";
+
+    // 3. Interaction modules and clustering.
+    auto cc = runComponents(g);
+    auto tc = runTriangleCount(g);
+    std::cout << "modules: " << cc.num_components
+              << " connected components; triangles: " << tc.triangles
+              << "\n\n";
+
+    // 4. Hardware comparison on the heavy analyses.
+    const double scale = 1.0 / 64.0;
+    Table t({"analysis", "baseline cycles", "omega cycles", "speedup"});
+    for (AlgorithmKind kind :
+         {AlgorithmKind::BC, AlgorithmKind::CC, AlgorithmKind::Radii}) {
+        BaselineMachine base(
+            MachineParams::baseline().scaledCapacities(scale));
+        OmegaMachine om(MachineParams::omega().scaledCapacities(scale));
+        const Cycles cb = runAlgorithmOnMachine(kind, g, &base);
+        const Cycles co = runAlgorithmOnMachine(kind, g, &om);
+        t.row()
+            .cell(algorithmName(kind))
+            .cell(cb)
+            .cell(co)
+            .cell(formatSpeedup(static_cast<double>(cb) /
+                                static_cast<double>(co)));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nScale-free biology workloads hit OMEGA's sweet spot: "
+                 "the hub proteins' vtxProp lives in the scratchpads and "
+                 "their update storms run on the PISCs.\n";
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Algorithm registry and dispatch.
+ */
+
+#include "algorithms/algorithms.hh"
+
+#include "algorithms/bc.hh"
+#include "algorithms/bfs.hh"
+#include "algorithms/components.hh"
+#include "algorithms/kcore.hh"
+#include "algorithms/pagerank.hh"
+#include "algorithms/radii.hh"
+#include "algorithms/sssp.hh"
+#include "algorithms/triangle.hh"
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace omega {
+
+const std::vector<AlgorithmMeta> &
+allAlgorithms()
+{
+    static const std::vector<AlgorithmMeta> metas = {
+        {AlgorithmKind::PageRank, "PageRank", false, false, false, false,
+         "fp add", 8, 1},
+        {AlgorithmKind::BFS, "BFS", false, false, true, false,
+         "unsigned comp.", 4, 1},
+        {AlgorithmKind::SSSP, "SSSP", false, true, true, true,
+         "signed min & bool comp.", 8, 2},
+        {AlgorithmKind::BC, "BC", false, false, true, true,
+         "min & fp add", 8, 1},
+        {AlgorithmKind::Radii, "Radii", false, false, true, true,
+         "or & signed min", 12, 3},
+        {AlgorithmKind::CC, "CC", true, false, true, true, "signed min", 8,
+         2},
+        {AlgorithmKind::TC, "TC", true, false, false, false, "signed add",
+         8, 1},
+        {AlgorithmKind::KC, "KC", true, false, false, false, "signed add",
+         4, 1},
+    };
+    return metas;
+}
+
+const AlgorithmMeta &
+algorithmMeta(AlgorithmKind kind)
+{
+    for (const auto &m : allAlgorithms()) {
+        if (m.kind == kind)
+            return m;
+    }
+    panic("unknown algorithm kind");
+}
+
+std::string
+algorithmName(AlgorithmKind kind)
+{
+    return algorithmMeta(kind).name;
+}
+
+std::optional<AlgorithmKind>
+findAlgorithm(const std::string &name)
+{
+    for (const auto &m : allAlgorithms()) {
+        if (toLower(m.name) == toLower(name))
+            return m.kind;
+    }
+    return std::nullopt;
+}
+
+VertexId
+defaultRoot(const Graph &g)
+{
+    VertexId best = 0;
+    EdgeId best_deg = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (g.outDegree(v) > best_deg) {
+            best = v;
+            best_deg = g.outDegree(v);
+        }
+    }
+    return best;
+}
+
+Cycles
+runAlgorithmOnMachine(AlgorithmKind kind, const Graph &g,
+                      MemorySystem *mach, EngineOptions opts,
+                      std::uint64_t seed)
+{
+    const VertexId root = defaultRoot(g);
+    switch (kind) {
+      case AlgorithmKind::PageRank:
+        // The paper simulates a single PageRank iteration (section X).
+        runPageRank(g, mach, /*max_iters=*/1, 0.85, 0.0, opts);
+        break;
+      case AlgorithmKind::BFS:
+        runBfs(g, root, mach, opts);
+        break;
+      case AlgorithmKind::SSSP:
+        runSssp(g, root, mach, opts);
+        break;
+      case AlgorithmKind::BC:
+        runBcForward(g, root, mach, opts);
+        break;
+      case AlgorithmKind::Radii:
+        runRadii(g, mach, /*sample=*/16, seed, opts);
+        break;
+      case AlgorithmKind::CC:
+        runComponents(g, mach, opts);
+        break;
+      case AlgorithmKind::TC:
+        runTriangleCount(g, mach, opts);
+        break;
+      case AlgorithmKind::KC:
+        runKCore(g, mach, opts);
+        break;
+    }
+    return mach ? mach->cycles() : 0;
+}
+
+} // namespace omega

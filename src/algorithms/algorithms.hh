@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Algorithm registry and unified dispatch (paper Table II).
+ *
+ * Eight graph algorithms run on the framework: PageRank, BFS, SSSP,
+ * Betweenness Centrality (first pass), Radii, Connected Components,
+ * Triangle Counting and k-Core. Each lives in its own module with a
+ * result struct and a run function; this header adds the Table-II
+ * metadata and a kind-based dispatcher used by the bench harnesses.
+ */
+
+#ifndef OMEGA_ALGORITHMS_ALGORITHMS_HH
+#define OMEGA_ALGORITHMS_ALGORITHMS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "framework/engine.hh"
+#include "graph/graph.hh"
+#include "sim/memory_system.hh"
+
+namespace omega {
+
+/** The paper's eight algorithms. */
+enum class AlgorithmKind
+{
+    PageRank,
+    BFS,
+    SSSP,
+    BC,
+    Radii,
+    CC,
+    TC,
+    KC,
+};
+
+/** Static Table-II characterization of one algorithm. */
+struct AlgorithmMeta
+{
+    AlgorithmKind kind;
+    const char *name;
+    /** Requires a symmetric (undirected) graph. */
+    bool needs_symmetric;
+    /** Uses edge weights. */
+    bool weighted;
+    /** Maintains an active list across iterations. */
+    bool has_active_list;
+    /** Reads the source vertex's vtxProp per edge (SVB-eligible). */
+    bool reads_src_prop;
+    /** Table II "atomic operation type". */
+    const char *atomic_ops;
+    /** Expected vtxProp bytes per vertex. */
+    unsigned vtxprop_bytes;
+    /** Expected number of vtxProp arrays. */
+    unsigned num_props;
+};
+
+/** All eight algorithms in Table-II column order. */
+const std::vector<AlgorithmMeta> &allAlgorithms();
+
+/** Metadata lookup. */
+const AlgorithmMeta &algorithmMeta(AlgorithmKind kind);
+
+/** Short name ("PageRank", "BFS", ...). */
+std::string algorithmName(AlgorithmKind kind);
+
+/** Parse a short name; nullopt if unknown. */
+std::optional<AlgorithmKind> findAlgorithm(const std::string &name);
+
+/**
+ * Run one algorithm on a machine with the paper's evaluation settings
+ * (one PageRank iteration, BC first pass, Radii sample of 16, others to
+ * completion).
+ *
+ * @param kind which algorithm.
+ * @param g the (reordered) graph.
+ * @param mach machine to drive; may be null for functional runs.
+ * @param opts runtime options (weighted is forced where needed).
+ * @param seed seed for sampled sources.
+ * @return simulated cycles (0 for functional runs).
+ */
+Cycles runAlgorithmOnMachine(AlgorithmKind kind, const Graph &g,
+                             MemorySystem *mach, EngineOptions opts = {},
+                             std::uint64_t seed = 1);
+
+/** Deterministic traversal root: the highest-out-degree vertex. */
+VertexId defaultRoot(const Graph &g);
+
+} // namespace omega
+
+#endif // OMEGA_ALGORITHMS_ALGORITHMS_HH

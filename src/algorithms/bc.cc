@@ -1,0 +1,190 @@
+/**
+ * @file
+ * BC forward pass implementation.
+ */
+
+#include "algorithms/bc.hh"
+
+#include "framework/properties.hh"
+#include "framework/vertex_subset.hh"
+#include "util/logging.hh"
+
+namespace omega {
+
+UpdateFn
+bcUpdateFn()
+{
+    UpdateFn fn;
+    fn.name = "bc-update";
+    UpdateStep min_step;
+    min_step.op = PiscAluOp::SignedMin;
+    min_step.dst_prop = 0;
+    min_step.operand = UpdateOperand::Incoming;
+    min_step.conditional_write = true;
+    fn.steps.push_back(min_step);
+    UpdateStep add_step;
+    add_step.op = PiscAluOp::FpAdd;
+    add_step.dst_prop = 0;
+    add_step.operand = UpdateOperand::Incoming;
+    fn.steps.push_back(add_step);
+    fn.sets_dense_active = true;
+    fn.sets_sparse_active = true;
+    fn.reads_src_prop = true; // sigma of the source, per edge
+    fn.operand_bytes = 8;
+    return fn;
+}
+
+BcResult
+runBcForward(const Graph &g, VertexId root, MemorySystem *mach,
+             EngineOptions opts)
+{
+    const VertexId n = g.numVertices();
+    omega_assert(root < n, "bc root out of range");
+
+    PropertyRegistry props(n);
+    auto &sigma = props.create<double>("num_paths", 0.0);
+    // Depth lives outside the monitored vtxProp set (Table II: one
+    // vtxProp for BC); it is framework bookkeeping in nGraphData.
+    std::vector<std::int32_t> depth(n, -1);
+    const std::uint64_t depth_base =
+        props.allocOther(static_cast<std::uint64_t>(n) * 4);
+
+    sigma[root] = 1.0;
+    depth[root] = 0;
+
+    Engine eng(g, props, bcUpdateFn(), mach, opts);
+    eng.setAtomicTarget(&sigma);
+    eng.setSrcProp(&sigma);
+    eng.configureMachine();
+
+    BcResult result;
+    VertexSubset frontier = VertexSubset::single(n, root);
+    std::int32_t round = 0;
+
+    while (!frontier.empty()) {
+        ++round;
+        frontier = eng.edgeMap(
+            frontier,
+            [&](unsigned core, VertexId u, VertexId d, std::int32_t) {
+                EdgeUpdateResult r;
+                // The depth test is a random read of framework state.
+                eng.emitLoad(core, depth_base + 4ull * d, 4,
+                             AccessClass::NGraphData);
+                if (depth[d] == -1) {
+                    depth[d] = round;
+                    sigma[d] += sigma[u];
+                    r.performed_atomic = true;
+                    r.activated = true;
+                } else if (depth[d] == round) {
+                    sigma[d] += sigma[u];
+                    r.performed_atomic = true;
+                }
+                return r;
+            });
+        eng.finishIteration();
+        ++result.rounds;
+    }
+
+    result.sigma = sigma.data();
+    result.depth = std::move(depth);
+    return result;
+}
+
+} // namespace omega
+
+namespace omega {
+
+BcFullResult
+runBcBrandes(const Graph &g, VertexId root, MemorySystem *mach,
+             EngineOptions opts)
+{
+    // The backward sweep pushes dependencies along reverse tree edges by
+    // walking each deeper vertex's out-neighbors, which requires them to
+    // equal its in-neighbors.
+    omega_assert(g.symmetric(), "runBcBrandes needs a symmetric graph");
+    const VertexId n = g.numVertices();
+
+    // Forward pass: shortest-path counts and BFS depths. Re-run here so
+    // the backward pass can reuse the same engine and property layout.
+    PropertyRegistry props(n);
+    auto &sigma = props.create<double>("num_paths", 0.0);
+    auto &delta = props.create<double>("dependency", 0.0);
+    std::vector<std::int32_t> depth(n, -1);
+    const std::uint64_t depth_base =
+        props.allocOther(static_cast<std::uint64_t>(n) * 4);
+
+    sigma[root] = 1.0;
+    depth[root] = 0;
+
+    Engine eng(g, props, bcUpdateFn(), mach, opts);
+    eng.setAtomicTarget(&sigma);
+    eng.setSrcProp(&sigma);
+    eng.configureMachine();
+
+    BcFullResult result;
+    std::vector<VertexSubset> levels;
+    levels.push_back(VertexSubset::single(n, root));
+    std::int32_t round = 0;
+
+    while (!levels.back().empty()) {
+        ++round;
+        VertexSubset next = eng.edgeMap(
+            levels.back(),
+            [&](unsigned core, VertexId u, VertexId d, std::int32_t) {
+                EdgeUpdateResult r;
+                eng.emitLoad(core, depth_base + 4ull * d, 4,
+                             AccessClass::NGraphData);
+                if (depth[d] == -1) {
+                    depth[d] = round;
+                    sigma[d] += sigma[u];
+                    r.performed_atomic = true;
+                    r.activated = true;
+                } else if (depth[d] == round) {
+                    sigma[d] += sigma[u];
+                    r.performed_atomic = true;
+                }
+                return r;
+            });
+        eng.finishIteration();
+        ++result.rounds;
+        if (next.empty())
+            break;
+        levels.push_back(std::move(next));
+    }
+
+    // Backward pass: walk the frontiers in reverse order, accumulating
+    // dependencies over tree edges. The atomic target flips to delta.
+    eng.setAtomicTarget(&delta);
+    for (std::size_t l = levels.size(); l-- > 1;) {
+        const std::int32_t lvl = static_cast<std::int32_t>(l);
+        // For each vertex u at depth lvl-1 we need contributions from
+        // successors at depth lvl; push from the deeper frontier along
+        // (symmetric or reversed) edges.
+        eng.edgeMap(
+            levels[l],
+            [&](unsigned core, VertexId w, VertexId u, std::int32_t) {
+                EdgeUpdateResult r;
+                eng.emitLoad(core, depth_base + 4ull * u, 4,
+                             AccessClass::NGraphData);
+                if (depth[u] == lvl - 1 && sigma[w] > 0.0) {
+                    delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+                    r.performed_atomic = true;
+                }
+                return r;
+            },
+            /*want_output=*/false);
+        eng.finishIteration();
+        ++result.rounds;
+    }
+
+    result.centrality.assign(n, 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+        if (v != root && depth[v] != -1)
+            result.centrality[v] = delta[v];
+    }
+    result.sigma = sigma.data();
+    result.depth = std::move(depth);
+    return result;
+}
+
+} // namespace omega

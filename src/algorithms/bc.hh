@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Betweenness centrality, forward ("first") pass.
+ *
+ * The paper simulates only the first pass of Brandes' algorithm: a
+ * level-synchronous BFS that counts shortest paths (sigma) with atomic
+ * floating-point accumulation — Table II's "min & fp add" entry.
+ */
+
+#ifndef OMEGA_ALGORITHMS_BC_HH
+#define OMEGA_ALGORITHMS_BC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "framework/engine.hh"
+#include "graph/graph.hh"
+#include "sim/memory_system.hh"
+#include "translate/update_fn.hh"
+
+namespace omega {
+
+/** BC forward-pass output. */
+struct BcResult
+{
+    /** Shortest-path counts from the root. */
+    std::vector<double> sigma;
+    /** BFS depth per vertex; -1 if unreached. */
+    std::vector<std::int32_t> depth;
+    unsigned rounds = 0;
+};
+
+/** Annotated update function (depth min + sigma fp add). */
+UpdateFn bcUpdateFn();
+
+/** Run the BC forward pass from @p root. */
+BcResult runBcForward(const Graph &g, VertexId root,
+                      MemorySystem *mach = nullptr, EngineOptions opts = {});
+
+/** Full Brandes output: per-vertex betweenness contributions. */
+struct BcFullResult
+{
+    /** Dependency (betweenness contribution) of each vertex for the
+     *  given root set. */
+    std::vector<double> centrality;
+    std::vector<double> sigma;
+    std::vector<std::int32_t> depth;
+    unsigned rounds = 0;
+};
+
+/**
+ * Full Brandes' algorithm from @p root: the forward pass of
+ * runBcForward followed by the backward dependency-accumulation sweep
+ * (the part the paper leaves unsimulated, provided here for downstream
+ * users who need actual betweenness scores). On a symmetric graph the
+ * backward pass walks the BFS levels in reverse, accumulating
+ *   delta[u] += sigma[u]/sigma[w] * (1 + delta[w])
+ * over tree edges u->w with depth[w] == depth[u]+1.
+ */
+BcFullResult runBcBrandes(const Graph &g, VertexId root,
+                          MemorySystem *mach = nullptr,
+                          EngineOptions opts = {});
+
+} // namespace omega
+
+#endif // OMEGA_ALGORITHMS_BC_HH

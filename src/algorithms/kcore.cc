@@ -1,0 +1,108 @@
+/**
+ * @file
+ * k-Core implementation.
+ */
+
+#include "algorithms/kcore.hh"
+
+#include <algorithm>
+
+#include "framework/properties.hh"
+#include "framework/vertex_subset.hh"
+#include "util/logging.hh"
+
+namespace omega {
+
+UpdateFn
+kcoreUpdateFn()
+{
+    UpdateFn fn;
+    fn.name = "kcore-update";
+    UpdateStep step;
+    step.op = PiscAluOp::SignedAdd;
+    step.dst_prop = 0;
+    step.operand = UpdateOperand::Constant; // -1
+    fn.steps.push_back(step);
+    fn.reads_src_prop = false;
+    fn.operand_bytes = 4;
+    return fn;
+}
+
+KcResult
+runKCore(const Graph &g, MemorySystem *mach, EngineOptions opts)
+{
+    omega_assert(g.symmetric(), "k-core needs a symmetric graph");
+    const VertexId n = g.numVertices();
+
+    PropertyRegistry props(n);
+    auto &degree = props.create<std::int32_t>("induced_degree", 0);
+    for (VertexId v = 0; v < n; ++v)
+        degree[v] = static_cast<std::int32_t>(g.outDegree(v));
+    std::vector<std::uint8_t> removed(n, 0);
+    const std::uint64_t removed_base =
+        props.allocOther(static_cast<std::uint64_t>(n));
+
+    Engine eng(g, props, kcoreUpdateFn(), mach, opts);
+    eng.setAtomicTarget(&degree);
+    eng.configureMachine();
+
+    KcResult result;
+    result.coreness.assign(n, 0);
+    VertexId remaining = n;
+    std::int32_t k = 0;
+
+    while (remaining > 0) {
+        // Collect the next peel set: alive vertices with degree <= k.
+        std::vector<std::vector<VertexId>> found(eng.numCores());
+        eng.parallelFor(n, [&](unsigned core, std::uint64_t idx) {
+            const auto v = static_cast<VertexId>(idx);
+            eng.emitLoad(core, removed_base + v, 1,
+                         AccessClass::NGraphData);
+            eng.emitLoad(core, degree.addrOf(v), degree.typeSize(),
+                         AccessClass::VertexProp, false, v);
+            eng.emitCompute(core, 2);
+            if (!removed[v] && degree[v] <= k)
+                found[core].push_back(v);
+        });
+        std::vector<VertexId> peel;
+        for (auto &f : found)
+            peel.insert(peel.end(), f.begin(), f.end());
+
+        if (peel.empty()) {
+            ++k;
+            continue;
+        }
+
+        for (VertexId v : peel) {
+            removed[v] = 1;
+            result.coreness[v] = k;
+        }
+        remaining -= static_cast<VertexId>(peel.size());
+
+        // Decrement the degrees of the peeled vertices' live neighbors.
+        VertexSubset frontier =
+            VertexSubset::fromSparse(n, std::move(peel));
+        eng.edgeMap(
+            frontier,
+            [&](unsigned core, VertexId, VertexId d, std::int32_t) {
+                EdgeUpdateResult r;
+                eng.emitLoad(core, removed_base + d, 1,
+                             AccessClass::NGraphData);
+                if (!removed[d]) {
+                    degree[d] -= 1;
+                    r.performed_atomic = true;
+                }
+                return r;
+            },
+            /*want_output=*/false);
+        eng.finishIteration();
+        ++result.rounds;
+    }
+
+    result.degeneracy = k;
+    for (VertexId v = 0; v < n; ++v)
+        result.degeneracy = std::max(result.degeneracy, result.coreness[v]);
+    return result;
+}
+
+} // namespace omega

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * k-Core decomposition (coreness) by iterative peeling.
+ *
+ * Vertices with induced degree <= k are repeatedly removed at level k;
+ * removal atomically decrements the neighbors' degrees (Table II's
+ * signed add). The largest k with a non-empty core is the degeneracy.
+ */
+
+#ifndef OMEGA_ALGORITHMS_KCORE_HH
+#define OMEGA_ALGORITHMS_KCORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "framework/engine.hh"
+#include "graph/graph.hh"
+#include "sim/memory_system.hh"
+#include "translate/update_fn.hh"
+
+namespace omega {
+
+/** k-Core output. */
+struct KcResult
+{
+    /** Coreness per vertex. */
+    std::vector<std::int32_t> coreness;
+    /** Maximum coreness (degeneracy). */
+    std::int32_t degeneracy = 0;
+    unsigned rounds = 0;
+};
+
+/** Annotated update function (signed add decrement on the degree). */
+UpdateFn kcoreUpdateFn();
+
+/** Compute coreness for every vertex (expects a symmetric graph). */
+KcResult runKCore(const Graph &g, MemorySystem *mach = nullptr,
+                  EngineOptions opts = {});
+
+} // namespace omega
+
+#endif // OMEGA_ALGORITHMS_KCORE_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Radii estimation implementation.
+ */
+
+#include "algorithms/radii.hh"
+
+#include <algorithm>
+
+#include "framework/properties.hh"
+#include "framework/vertex_subset.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace omega {
+
+UpdateFn
+radiiUpdateFn()
+{
+    UpdateFn fn;
+    fn.name = "radii-update";
+    UpdateStep or_step;
+    or_step.op = PiscAluOp::BitOr;
+    or_step.dst_prop = 1; // next_visited
+    or_step.operand = UpdateOperand::Incoming;
+    or_step.conditional_write = true;
+    fn.steps.push_back(or_step);
+    UpdateStep min_step;
+    min_step.op = PiscAluOp::SignedMin;
+    min_step.dst_prop = 2; // radii (set to the current round once)
+    min_step.operand = UpdateOperand::Constant;
+    min_step.conditional_write = true;
+    fn.steps.push_back(min_step);
+    fn.sets_dense_active = true;
+    fn.sets_sparse_active = true;
+    fn.reads_src_prop = true; // the source's visited mask, per edge
+    fn.operand_bytes = 4;
+    return fn;
+}
+
+RadiiResult
+runRadii(const Graph &g, MemorySystem *mach, unsigned sample,
+         std::uint64_t seed, EngineOptions opts)
+{
+    const VertexId n = g.numVertices();
+    omega_assert(sample >= 1 && sample <= 32, "sample size must be 1..32");
+    sample = std::min<unsigned>(sample, n);
+
+    PropertyRegistry props(n);
+    auto &visited = props.create<std::uint32_t>("visited", 0);
+    auto &next_visited = props.create<std::uint32_t>("next_visited", 0);
+    auto &radii = props.create<std::int32_t>("radii", -1);
+
+    // Sample distinct sources.
+    Rng rng(seed);
+    std::vector<VertexId> sources;
+    while (sources.size() < sample) {
+        const auto v = static_cast<VertexId>(rng.nextBounded(n));
+        if (std::find(sources.begin(), sources.end(), v) == sources.end())
+            sources.push_back(v);
+    }
+    for (unsigned i = 0; i < sources.size(); ++i) {
+        visited[sources[i]] = 1u << i;
+        next_visited[sources[i]] = 1u << i;
+        radii[sources[i]] = 0;
+    }
+
+    Engine eng(g, props, radiiUpdateFn(), mach, opts);
+    eng.setAtomicTarget(&next_visited);
+    eng.setSrcProp(&visited);
+    eng.configureMachine();
+
+    RadiiResult result;
+    VertexSubset frontier = VertexSubset::fromSparse(n, sources);
+    std::int32_t round = 0;
+
+    while (!frontier.empty()) {
+        ++round;
+        frontier = eng.edgeMap(
+            frontier,
+            [&](unsigned, VertexId u, VertexId d, std::int32_t) {
+                // Ligra's radiiUpdate: a blind atomic writeOr per edge
+                // (the PISC executes the OR in-situ); the radii stamp and
+                // activation fire only when the mask actually grew.
+                EdgeUpdateResult r;
+                r.performed_atomic = true;
+                const std::uint32_t to_write =
+                    visited[u] & ~next_visited[d];
+                if (to_write) {
+                    next_visited[d] |= to_write;
+                    if (radii[d] != round) {
+                        radii[d] = round;
+                        r.activated = true;
+                    }
+                }
+                return r;
+            });
+        // visited <- next_visited over the touched vertices.
+        eng.vertexMap(
+            frontier,
+            [&](unsigned, VertexId v) { visited[v] = next_visited[v]; },
+            {&next_visited}, {&visited});
+        eng.finishIteration();
+        ++result.rounds;
+    }
+
+    result.max_radius = 0;
+    for (VertexId v = 0; v < n; ++v)
+        result.max_radius = std::max(result.max_radius, radii[v]);
+    result.radii = radii.data();
+    return result;
+}
+
+} // namespace omega

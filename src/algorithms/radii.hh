@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Graph radii estimation (multi-source BFS with bit masks).
+ *
+ * Ligra's Radii: K sampled sources each own one bit of a visited mask;
+ * a simultaneous BFS propagates masks with atomic OR, and a vertex's
+ * radius estimate is the last round in which its mask grew. The paper
+ * uses a sample size of 16; Table II lists 12 bytes of vtxProp across
+ * three arrays (visited, next_visited, radii).
+ */
+
+#ifndef OMEGA_ALGORITHMS_RADII_HH
+#define OMEGA_ALGORITHMS_RADII_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "framework/engine.hh"
+#include "graph/graph.hh"
+#include "sim/memory_system.hh"
+#include "translate/update_fn.hh"
+
+namespace omega {
+
+/** Radii output. */
+struct RadiiResult
+{
+    /** Per-vertex eccentricity estimate (-1 if untouched). */
+    std::vector<std::int32_t> radii;
+    /** Max over all vertices: the graph radius/diameter estimate. */
+    std::int32_t max_radius = 0;
+    unsigned rounds = 0;
+};
+
+/** Annotated update function (bit-or + unsigned min, Table II). */
+UpdateFn radiiUpdateFn();
+
+/**
+ * Estimate radii with @p sample simultaneous sources.
+ *
+ * @param g graph.
+ * @param mach machine (null = functional).
+ * @param sample number of sources (<= 32; paper uses 16).
+ * @param seed source sampling seed.
+ */
+RadiiResult runRadii(const Graph &g, MemorySystem *mach = nullptr,
+                     unsigned sample = 16, std::uint64_t seed = 1,
+                     EngineOptions opts = {});
+
+} // namespace omega
+
+#endif // OMEGA_ALGORITHMS_RADII_HH

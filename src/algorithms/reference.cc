@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Reference implementations.
+ */
+
+#include "algorithms/reference.hh"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "algorithms/sssp.hh"
+
+namespace omega {
+
+std::vector<double>
+refPageRank(const Graph &g, unsigned iters, double damping)
+{
+    const VertexId n = g.numVertices();
+    std::vector<double> curr(n, n ? 1.0 / n : 0.0);
+    std::vector<double> next(n, 0.0);
+    for (unsigned it = 0; it < iters; ++it) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (VertexId u = 0; u < n; ++u) {
+            const EdgeId deg = g.outDegree(u);
+            if (deg == 0)
+                continue;
+            const double share = curr[u] / static_cast<double>(deg);
+            for (VertexId d : g.outNeighbors(u))
+                next[d] += share;
+        }
+        for (VertexId v = 0; v < n; ++v)
+            curr[v] = (1.0 - damping) / n + damping * next[v];
+    }
+    return curr;
+}
+
+std::vector<std::int32_t>
+refBfsDepths(const Graph &g, VertexId root)
+{
+    std::vector<std::int32_t> depth(g.numVertices(), -1);
+    std::deque<VertexId> queue;
+    depth[root] = 0;
+    queue.push_back(root);
+    while (!queue.empty()) {
+        const VertexId u = queue.front();
+        queue.pop_front();
+        for (VertexId d : g.outNeighbors(u)) {
+            if (depth[d] == -1) {
+                depth[d] = depth[u] + 1;
+                queue.push_back(d);
+            }
+        }
+    }
+    return depth;
+}
+
+std::vector<std::int32_t>
+refDijkstra(const Graph &g, VertexId root)
+{
+    std::vector<std::int32_t> dist(g.numVertices(), kSsspInfinity);
+    using Item = std::pair<std::int32_t, VertexId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[root] = 0;
+    pq.emplace(0, root);
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[u])
+            continue;
+        const auto nbrs = g.outNeighbors(u);
+        const auto ws = g.outWeights(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const std::int32_t nd = d + ws[i];
+            if (nd < dist[nbrs[i]]) {
+                dist[nbrs[i]] = nd;
+                pq.emplace(nd, nbrs[i]);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint32_t>
+refComponents(const Graph &g)
+{
+    const VertexId n = g.numVertices();
+    std::vector<std::uint32_t> label(n);
+    std::vector<bool> seen(n, false);
+    for (VertexId v = 0; v < n; ++v)
+        label[v] = v;
+    for (VertexId root = 0; root < n; ++root) {
+        if (seen[root])
+            continue;
+        std::deque<VertexId> queue{root};
+        seen[root] = true;
+        while (!queue.empty()) {
+            const VertexId u = queue.front();
+            queue.pop_front();
+            label[u] = root;
+            for (VertexId d : g.outNeighbors(u)) {
+                if (!seen[d]) {
+                    seen[d] = true;
+                    queue.push_back(d);
+                }
+            }
+        }
+    }
+    return label;
+}
+
+std::uint64_t
+refTriangles(const Graph &g)
+{
+    std::uint64_t total = 0;
+    const VertexId n = g.numVertices();
+    for (VertexId u = 0; u < n; ++u) {
+        const auto nbrs_u = g.outNeighbors(u);
+        for (VertexId v : nbrs_u) {
+            if (v <= u)
+                continue;
+            const auto nbrs_v = g.outNeighbors(v);
+            std::size_t a = 0;
+            std::size_t b = 0;
+            while (a < nbrs_u.size() && b < nbrs_v.size()) {
+                const VertexId wa = nbrs_u[a];
+                const VertexId wb = nbrs_v[b];
+                if (wa <= v) {
+                    ++a;
+                } else if (wb <= v) {
+                    ++b;
+                } else if (wa == wb) {
+                    ++total;
+                    ++a;
+                    ++b;
+                } else if (wa < wb) {
+                    ++a;
+                } else {
+                    ++b;
+                }
+            }
+        }
+    }
+    return total;
+}
+
+std::vector<std::int32_t>
+refCoreness(const Graph &g)
+{
+    const VertexId n = g.numVertices();
+    std::vector<std::int32_t> degree(n);
+    std::vector<std::int32_t> coreness(n, 0);
+    std::vector<bool> removed(n, false);
+    for (VertexId v = 0; v < n; ++v)
+        degree[v] = static_cast<std::int32_t>(g.outDegree(v));
+
+    VertexId remaining = n;
+    std::int32_t k = 0;
+    std::deque<VertexId> queue;
+    while (remaining > 0) {
+        for (VertexId v = 0; v < n; ++v) {
+            if (!removed[v] && degree[v] <= k)
+                queue.push_back(v);
+        }
+        if (queue.empty()) {
+            ++k;
+            continue;
+        }
+        while (!queue.empty()) {
+            const VertexId v = queue.front();
+            queue.pop_front();
+            if (removed[v])
+                continue;
+            removed[v] = true;
+            coreness[v] = k;
+            --remaining;
+            for (VertexId d : g.outNeighbors(v)) {
+                if (!removed[d]) {
+                    if (--degree[d] <= k)
+                        queue.push_back(d);
+                }
+            }
+        }
+    }
+    return coreness;
+}
+
+std::pair<std::vector<double>, std::vector<std::int32_t>>
+refBcForward(const Graph &g, VertexId root)
+{
+    const VertexId n = g.numVertices();
+    std::vector<double> sigma(n, 0.0);
+    std::vector<std::int32_t> depth(n, -1);
+    sigma[root] = 1.0;
+    depth[root] = 0;
+    std::deque<VertexId> queue{root};
+    while (!queue.empty()) {
+        const VertexId u = queue.front();
+        queue.pop_front();
+        for (VertexId d : g.outNeighbors(u)) {
+            if (depth[d] == -1) {
+                depth[d] = depth[u] + 1;
+                queue.push_back(d);
+            }
+            if (depth[d] == depth[u] + 1)
+                sigma[d] += sigma[u];
+        }
+    }
+    return {std::move(sigma), std::move(depth)};
+}
+
+std::vector<double>
+refBrandes(const Graph &g, VertexId root)
+{
+    const VertexId n = g.numVertices();
+    std::vector<double> sigma(n, 0.0);
+    std::vector<double> delta(n, 0.0);
+    std::vector<std::int32_t> depth(n, -1);
+    std::vector<VertexId> order; // BFS visitation order
+    order.reserve(n);
+
+    sigma[root] = 1.0;
+    depth[root] = 0;
+    std::deque<VertexId> queue{root};
+    while (!queue.empty()) {
+        const VertexId u = queue.front();
+        queue.pop_front();
+        order.push_back(u);
+        for (VertexId d : g.outNeighbors(u)) {
+            if (depth[d] == -1) {
+                depth[d] = depth[u] + 1;
+                queue.push_back(d);
+            }
+            if (depth[d] == depth[u] + 1)
+                sigma[d] += sigma[u];
+        }
+    }
+    // Dependency accumulation in reverse BFS order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const VertexId w = *it;
+        for (VertexId u : g.outNeighbors(w)) {
+            if (depth[u] >= 0 && depth[u] == depth[w] - 1)
+                delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+        }
+    }
+    delta[root] = 0.0;
+    return delta;
+}
+
+} // namespace omega

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Serial reference implementations used to verify the framework
+ * algorithms. These are straightforward textbook versions with no
+ * simulation hooks.
+ */
+
+#ifndef OMEGA_ALGORITHMS_REFERENCE_HH
+#define OMEGA_ALGORITHMS_REFERENCE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace omega {
+
+/** Power-iteration PageRank, same update rule as runPageRank. */
+std::vector<double> refPageRank(const Graph &g, unsigned iters,
+                                double damping);
+
+/** BFS depths from @p root; -1 for unreached vertices. */
+std::vector<std::int32_t> refBfsDepths(const Graph &g, VertexId root);
+
+/** Dijkstra distances from @p root (kSsspInfinity for unreachable). */
+std::vector<std::int32_t> refDijkstra(const Graph &g, VertexId root);
+
+/** Connected-component labels (minimum member id), symmetric graphs. */
+std::vector<std::uint32_t> refComponents(const Graph &g);
+
+/** Exact triangle count, symmetric graphs. */
+std::uint64_t refTriangles(const Graph &g);
+
+/** Coreness per vertex by bucket peeling, symmetric graphs. */
+std::vector<std::int32_t> refCoreness(const Graph &g);
+
+/** BFS shortest-path counts (sigma) and depths from @p root. */
+std::pair<std::vector<double>, std::vector<std::int32_t>>
+refBcForward(const Graph &g, VertexId root);
+
+/** Full Brandes dependencies from @p root (symmetric graphs). */
+std::vector<double> refBrandes(const Graph &g, VertexId root);
+
+} // namespace omega
+
+#endif // OMEGA_ALGORITHMS_REFERENCE_HH

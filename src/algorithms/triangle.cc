@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Triangle counting implementation.
+ */
+
+#include "algorithms/triangle.hh"
+
+#include "framework/properties.hh"
+#include "util/logging.hh"
+
+namespace omega {
+
+UpdateFn
+tcUpdateFn()
+{
+    UpdateFn fn;
+    fn.name = "tc-update";
+    UpdateStep step;
+    step.op = PiscAluOp::SignedAdd;
+    step.dst_prop = 0;
+    step.operand = UpdateOperand::Incoming;
+    fn.steps.push_back(step);
+    fn.reads_src_prop = false;
+    fn.operand_bytes = 8;
+    return fn;
+}
+
+TcResult
+runTriangleCount(const Graph &g, MemorySystem *mach, EngineOptions opts)
+{
+    omega_assert(g.symmetric(), "triangle counting needs a symmetric graph");
+    const VertexId n = g.numVertices();
+
+    PropertyRegistry props(n);
+    auto &count = props.create<std::int64_t>("tri_count", 0);
+
+    Engine eng(g, props, tcUpdateFn(), mach, opts);
+    eng.setAtomicTarget(&count);
+    eng.configureMachine();
+
+    eng.parallelFor(n, [&](unsigned core, std::uint64_t idx) {
+        const auto u = static_cast<VertexId>(idx);
+        eng.emitOffsetsRead(core, u);
+        eng.emitCompute(core, 8);
+        const auto nbrs_u = g.outNeighbors(u);
+        const EdgeId base_u = g.outEdgeBase(u);
+        std::int64_t local = 0;
+        for (std::size_t i = 0; i < nbrs_u.size(); ++i) {
+            const VertexId v = nbrs_u[i];
+            eng.emitEdgeRead(core, base_u + i);
+            eng.emitCompute(core, 2);
+            if (v <= u)
+                continue;
+            // Merge N(u) and N(v), counting common neighbors w > v.
+            eng.emitOffsetsRead(core, v);
+            const auto nbrs_v = g.outNeighbors(v);
+            const EdgeId base_v = g.outEdgeBase(v);
+            std::size_t a = 0;
+            std::size_t b = 0;
+            while (a < nbrs_u.size() && b < nbrs_v.size()) {
+                const VertexId wa = nbrs_u[a];
+                const VertexId wb = nbrs_v[b];
+                eng.emitCompute(core, 2);
+                if (wa <= v) {
+                    eng.emitEdgeRead(core, base_u + a);
+                    ++a;
+                    continue;
+                }
+                if (wb <= v) {
+                    eng.emitEdgeRead(core, base_v + b);
+                    ++b;
+                    continue;
+                }
+                if (wa == wb) {
+                    ++local;
+                    eng.emitEdgeRead(core, base_u + a);
+                    eng.emitEdgeRead(core, base_v + b);
+                    ++a;
+                    ++b;
+                } else if (wa < wb) {
+                    eng.emitEdgeRead(core, base_u + a);
+                    ++a;
+                } else {
+                    eng.emitEdgeRead(core, base_v + b);
+                    ++b;
+                }
+            }
+        }
+        count[u] += local;
+        eng.emitStore(core, count.addrOf(u), count.typeSize(),
+                      AccessClass::VertexProp, u);
+    });
+    eng.finishIteration();
+
+    TcResult result;
+    for (VertexId v = 0; v < n; ++v)
+        result.triangles += static_cast<std::uint64_t>(count[v]);
+    return result;
+}
+
+} // namespace omega

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Triangle counting on sorted adjacency lists.
+ *
+ * For every edge (u, v) with u < v, the common neighbors w > v are
+ * counted by merging the two sorted neighbor lists, so each triangle is
+ * counted exactly once. The merge makes TC compute-intensive with mostly
+ * sequential edgeList traffic — which is why the paper sees only a small
+ * OMEGA speedup for it.
+ */
+
+#ifndef OMEGA_ALGORITHMS_TRIANGLE_HH
+#define OMEGA_ALGORITHMS_TRIANGLE_HH
+
+#include <cstdint>
+
+#include "framework/engine.hh"
+#include "graph/graph.hh"
+#include "sim/memory_system.hh"
+#include "translate/update_fn.hh"
+
+namespace omega {
+
+/** Triangle-count output. */
+struct TcResult
+{
+    std::uint64_t triangles = 0;
+};
+
+/** Annotated update function (signed add on the per-vertex count). */
+UpdateFn tcUpdateFn();
+
+/** Count triangles (expects a symmetric graph with sorted adjacency). */
+TcResult runTriangleCount(const Graph &g, MemorySystem *mach = nullptr,
+                          EngineOptions opts = {});
+
+} // namespace omega
+
+#endif // OMEGA_ALGORITHMS_TRIANGLE_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Engine non-template implementation.
+ */
+
+#include "framework/engine.hh"
+
+#include "translate/codegen.hh"
+#include "util/logging.hh"
+
+namespace omega {
+
+Engine::Engine(const Graph &g, PropertyRegistry &props, UpdateFn fn,
+               MemorySystem *mach, EngineOptions opts)
+    : g_(g), props_(props), fn_(std::move(fn)), mach_(mach), opts_(opts),
+      num_cores_(mach ? mach->params().num_cores : opts.functional_cores)
+{
+    omega_assert(props_.numVertices() == g_.numVertices(),
+                 "property registry size mismatch");
+
+    // Simulated layout of the edgeList region: out offsets then out arcs.
+    edge_entry_bytes_ = opts_.weighted ? 8 : 4;
+    out_offsets_base_ = addr_space::kEdgeBase;
+    const std::uint64_t offsets_bytes =
+        (static_cast<std::uint64_t>(g_.numVertices()) + 1) * 8;
+    const std::uint64_t arcs_bytes =
+        g_.numArcs() * static_cast<std::uint64_t>(edge_entry_bytes_);
+    out_arcs_base_ = out_offsets_base_ + (offsets_bytes + 63) / 64 * 64;
+    in_offsets_base_ = out_arcs_base_ + (arcs_bytes + 63) / 64 * 64;
+    in_arcs_base_ = in_offsets_base_ + (offsets_bytes + 63) / 64 * 64;
+
+    // Active-list region: dense byte map, sparse append array, sparse
+    // read array (previous frontier), shared tail counter.
+    const VertexId n = g_.numVertices();
+    dense_active_base_ = addr_space::kActiveBase;
+    sparse_active_base_ =
+        dense_active_base_ + (static_cast<std::uint64_t>(n) + 63) / 64 * 64;
+    sparse_read_base_ =
+        sparse_active_base_ +
+        (static_cast<std::uint64_t>(n) * 4 + 63) / 64 * 64;
+    sparse_counter_addr_ =
+        sparse_read_base_ +
+        (static_cast<std::uint64_t>(n) * 4 + 63) / 64 * 64;
+}
+
+void
+Engine::configureMachine(VertexId hot_boundary)
+{
+    if (!mach_)
+        return;
+    if (hot_boundary == 0) {
+        hot_boundary = static_cast<VertexId>(
+            0.2 * static_cast<double>(g_.numVertices()));
+    }
+    MachineConfig config = buildMachineConfig(
+        g_.numVertices(), props_.specs(), fn_, dense_active_base_,
+        sparse_active_base_, sparse_counter_addr_, hot_boundary);
+    mach_->configure(config);
+}
+
+void
+Engine::emitCompute(unsigned core, std::uint64_t ops)
+{
+    if (mach_)
+        mach_->compute(core, ops);
+}
+
+void
+Engine::emitLoad(unsigned core, std::uint64_t addr, std::uint32_t size,
+                 AccessClass cls, bool blocking, VertexId vertex,
+                 bool sequential)
+{
+    if (!mach_)
+        return;
+    MemAccess a;
+    a.core = core;
+    a.op = MemOp::Load;
+    a.addr = addr;
+    a.size = size;
+    a.cls = cls;
+    a.blocking = blocking;
+    a.sequential = sequential;
+    a.vertex = vertex;
+    mach_->memAccess(a);
+}
+
+void
+Engine::emitStore(unsigned core, std::uint64_t addr, std::uint32_t size,
+                  AccessClass cls, VertexId vertex, bool sequential)
+{
+    if (!mach_)
+        return;
+    MemAccess a;
+    a.core = core;
+    a.op = MemOp::Store;
+    a.addr = addr;
+    a.size = size;
+    a.cls = cls;
+    a.sequential = sequential;
+    a.vertex = vertex;
+    mach_->memAccess(a);
+}
+
+void
+Engine::emitStreaming(std::uint64_t base, std::uint64_t bytes, bool write,
+                      AccessClass cls)
+{
+    if (!mach_ || bytes == 0)
+        return;
+    // One line-sized access per 64 B, spread across the cores exactly as
+    // the static schedule would.
+    const std::uint64_t lines = (bytes + 63) / 64;
+    parallelFor(lines, [&](unsigned core, std::uint64_t i) {
+        MemAccess a;
+        a.core = core;
+        a.op = write ? MemOp::Store : MemOp::Load;
+        a.addr = base + i * 64;
+        a.size = 64;
+        a.cls = cls;
+        a.sequential = true;
+        mach_->memAccess(a);
+        mach_->compute(core, 8);
+    });
+}
+
+void
+Engine::emitOffsetsRead(unsigned core, VertexId v, bool sequential)
+{
+    // Reads offsets[v] and offsets[v+1]; they share a line most of the
+    // time, so one 16-byte access models the pair. The out-of-order
+    // window overlaps it with other vertices' work (non-blocking).
+    emitLoad(core, out_offsets_base_ + static_cast<std::uint64_t>(v) * 8,
+             16, AccessClass::EdgeList, /*blocking=*/false, 0, sequential);
+}
+
+void
+Engine::emitEdgeRead(unsigned core, EdgeId i)
+{
+    emitLoad(core, out_arcs_base_ + i * edge_entry_bytes_,
+             edge_entry_bytes_, AccessClass::EdgeList, false, 0,
+             /*sequential=*/true);
+}
+
+void
+Engine::emitInOffsetsRead(unsigned core, VertexId v, bool sequential)
+{
+    emitLoad(core, in_offsets_base_ + static_cast<std::uint64_t>(v) * 8,
+             16, AccessClass::EdgeList, /*blocking=*/false, 0, sequential);
+}
+
+void
+Engine::emitInEdgeRead(unsigned core, EdgeId i)
+{
+    emitLoad(core, in_arcs_base_ + i * edge_entry_bytes_,
+             edge_entry_bytes_, AccessClass::EdgeList, false, 0,
+             /*sequential=*/true);
+}
+
+void
+Engine::emitSrcPropRead(unsigned core, VertexId u)
+{
+    if (!mach_ || !src_prop_)
+        return;
+    mach_->readSrcProp(core, u, src_prop_->addrOf(u),
+                       src_prop_->typeSize());
+}
+
+void
+Engine::finishPhase()
+{
+    if (mach_)
+        mach_->barrier();
+}
+
+void
+Engine::finishIteration()
+{
+    if (mach_) {
+        mach_->barrier();
+        mach_->endIteration();
+    }
+    ++iterations_;
+}
+
+} // namespace omega

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Property registry — header-only; this translation unit anchors the
+ * vtable of PropArrayBase.
+ */
+
+#include "framework/properties.hh"
+
+namespace omega {
+
+// PropArrayBase and PropertyRegistry are header-only templates/inlines;
+// nothing further to define here.
+
+} // namespace omega

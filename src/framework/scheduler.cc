@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Static scheduler implementation.
+ */
+
+#include "framework/scheduler.hh"
+
+namespace omega {
+
+StaticScheduler::StaticScheduler(std::uint64_t total, unsigned num_cores,
+                                 unsigned chunk)
+    : total_(total), num_cores_(num_cores), chunk_(chunk),
+      cursor_(num_cores), remaining_(total)
+{
+    omega_assert(num_cores_ > 0 && chunk_ > 0, "bad scheduler parameters");
+    // Core c starts at the beginning of chunk c.
+    for (unsigned c = 0; c < num_cores_; ++c)
+        cursor_[c] = static_cast<std::uint64_t>(c) * chunk_;
+}
+
+std::optional<std::uint64_t>
+StaticScheduler::peek(unsigned core) const
+{
+    const std::uint64_t pos = cursor_[core];
+    if (pos >= total_)
+        return std::nullopt;
+    return pos;
+}
+
+std::optional<std::uint64_t>
+StaticScheduler::next(unsigned core)
+{
+    const std::uint64_t pos = cursor_[core];
+    if (pos >= total_)
+        return std::nullopt;
+    // Advance within the chunk; hop to this core's next chunk at the end.
+    const std::uint64_t chunk_off = pos % chunk_;
+    if (chunk_off + 1 < chunk_) {
+        cursor_[core] = pos + 1;
+    } else {
+        cursor_[core] = pos + 1 +
+                        static_cast<std::uint64_t>(num_cores_ - 1) * chunk_;
+    }
+    --remaining_;
+    return pos;
+}
+
+} // namespace omega

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * OpenMP-style static-chunk scheduler.
+ *
+ * Work items [0, total) are dealt to the logical cores in round-robin
+ * chunks — `schedule(static, chunk)` — exactly the scheme whose chunk
+ * size OMEGA's scratchpad mapping must match (paper section V.D, Fig 12).
+ * The engine interleaves the per-core streams by picking the core with
+ * the smallest local clock, which is what makes shared-resource
+ * contention (L2 banks, DRAM channels, PISCs) come out right.
+ */
+
+#ifndef OMEGA_FRAMEWORK_SCHEDULER_HH
+#define OMEGA_FRAMEWORK_SCHEDULER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+/** Per-core cursors over a statically chunked iteration space. */
+class StaticScheduler
+{
+  public:
+    /**
+     * @param total number of work items.
+     * @param num_cores logical cores.
+     * @param chunk chunk size (items handed to a core at a time).
+     */
+    StaticScheduler(std::uint64_t total, unsigned num_cores,
+                    unsigned chunk);
+
+    /** Next item for @p core, or nullopt when its share is exhausted. */
+    std::optional<std::uint64_t> next(unsigned core);
+
+    /** Peek without consuming. */
+    std::optional<std::uint64_t> peek(unsigned core) const;
+
+    /** True once every core's share is exhausted. */
+    bool done() const { return remaining_ == 0; }
+
+    std::uint64_t remaining() const { return remaining_; }
+
+  private:
+    std::uint64_t total_;
+    unsigned num_cores_;
+    unsigned chunk_;
+    /** Next item index per core (encoded as absolute item id). */
+    std::vector<std::uint64_t> cursor_;
+    std::uint64_t remaining_;
+};
+
+} // namespace omega
+
+#endif // OMEGA_FRAMEWORK_SCHEDULER_HH

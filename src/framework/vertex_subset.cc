@@ -1,0 +1,94 @@
+/**
+ * @file
+ * VertexSubset implementation.
+ */
+
+#include "framework/vertex_subset.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+VertexSubset::VertexSubset(VertexId n) : n_(n) {}
+
+VertexSubset
+VertexSubset::single(VertexId n, VertexId v)
+{
+    omega_assert(v < n, "vertex out of range");
+    VertexSubset s(n);
+    s.sparse_.push_back(v);
+    s.size_ = 1;
+    return s;
+}
+
+VertexSubset
+VertexSubset::all(VertexId n)
+{
+    VertexSubset s(n);
+    s.is_dense_ = true;
+    s.dense_.assign(n, 1);
+    s.size_ = n;
+    return s;
+}
+
+VertexSubset
+VertexSubset::fromSparse(VertexId n, std::vector<VertexId> ids)
+{
+    VertexSubset s(n);
+    s.sparse_ = std::move(ids);
+    s.size_ = static_cast<VertexId>(s.sparse_.size());
+    for ([[maybe_unused]] VertexId v : s.sparse_)
+        omega_assert(v < n, "vertex out of range");
+    return s;
+}
+
+VertexSubset
+VertexSubset::fromDense(std::vector<std::uint8_t> map)
+{
+    VertexSubset s(static_cast<VertexId>(map.size()));
+    s.is_dense_ = true;
+    s.dense_ = std::move(map);
+    s.size_ = static_cast<VertexId>(
+        std::count_if(s.dense_.begin(), s.dense_.end(),
+                      [](std::uint8_t b) { return b != 0; }));
+    return s;
+}
+
+bool
+VertexSubset::contains(VertexId v) const
+{
+    if (is_dense_)
+        return dense_[v] != 0;
+    return std::find(sparse_.begin(), sparse_.end(), v) != sparse_.end();
+}
+
+void
+VertexSubset::toDense()
+{
+    if (is_dense_)
+        return;
+    dense_.assign(n_, 0);
+    for (VertexId v : sparse_)
+        dense_[v] = 1;
+    sparse_.clear();
+    is_dense_ = true;
+}
+
+void
+VertexSubset::toSparse()
+{
+    if (!is_dense_)
+        return;
+    sparse_.clear();
+    sparse_.reserve(size_);
+    for (VertexId v = 0; v < n_; ++v) {
+        if (dense_[v])
+            sparse_.push_back(v);
+    }
+    dense_.clear();
+    is_dense_ = false;
+}
+
+} // namespace omega

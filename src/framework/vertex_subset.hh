@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ligra-style vertex subsets (frontiers).
+ *
+ * A VertexSubset is the set of active vertices of an iteration. It has two
+ * physical representations — a sparse id list and a dense byte map — and
+ * converts between them; edgeMap picks the representation by the usual
+ * |frontier| + out-degree threshold. The paper's active-list offload
+ * (dense bit per scratchpad line, sparse appends by the PISC) maps onto
+ * exactly these two representations.
+ */
+
+#ifndef OMEGA_FRAMEWORK_VERTEX_SUBSET_HH
+#define OMEGA_FRAMEWORK_VERTEX_SUBSET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hh"
+
+namespace omega {
+
+/** A set of active vertices with sparse/dense dual representation. */
+class VertexSubset
+{
+  public:
+    /** Empty subset over @p n vertices (sparse representation). */
+    explicit VertexSubset(VertexId n = 0);
+
+    /** Singleton subset. */
+    static VertexSubset single(VertexId n, VertexId v);
+    /** All vertices active (dense representation). */
+    static VertexSubset all(VertexId n);
+    /** From an explicit id list. */
+    static VertexSubset fromSparse(VertexId n, std::vector<VertexId> ids);
+    /** From a dense byte map (non-zero = active). */
+    static VertexSubset fromDense(std::vector<std::uint8_t> map);
+
+    VertexId numVertices() const { return n_; }
+    /** Number of active vertices. */
+    VertexId size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool isDense() const { return is_dense_; }
+
+    /** Membership test (works in either representation). */
+    bool contains(VertexId v) const;
+
+    /** Convert in place. */
+    void toDense();
+    void toSparse();
+
+    /** Sparse id list (valid when !isDense()). */
+    const std::vector<VertexId> &sparse() const { return sparse_; }
+    /** Dense byte map (valid when isDense()). */
+    const std::vector<std::uint8_t> &dense() const { return dense_; }
+
+  private:
+    VertexId n_ = 0;
+    VertexId size_ = 0;
+    bool is_dense_ = false;
+    std::vector<VertexId> sparse_;
+    std::vector<std::uint8_t> dense_;
+};
+
+} // namespace omega
+
+#endif // OMEGA_FRAMEWORK_VERTEX_SUBSET_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Edge-list to CSR conversion implementation.
+ */
+
+#include "graph/builder.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+namespace {
+
+/** Build one CSR direction from arcs keyed by @p key / valued by @p val. */
+template <typename KeyFn, typename ValFn>
+void
+buildDirection(VertexId num_vertices, const EdgeList &edges, KeyFn key,
+               ValFn val, std::vector<EdgeId> &offsets,
+               std::vector<VertexId> &neighbors,
+               std::vector<std::int32_t> &weights)
+{
+    offsets.assign(num_vertices + std::size_t(1), 0);
+    for (const Edge &e : edges)
+        ++offsets[key(e) + 1];
+    std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+    neighbors.resize(edges.size());
+    weights.resize(edges.size());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const Edge &e : edges) {
+        const EdgeId pos = cursor[key(e)]++;
+        neighbors[pos] = val(e);
+        weights[pos] = e.weight;
+    }
+    // Sort each row by neighbor id for deterministic traversal and O(log d)
+    // membership queries (triangle counting uses binary search).
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        const EdgeId lo = offsets[v];
+        const EdgeId hi = offsets[v + 1];
+        std::vector<std::pair<VertexId, std::int32_t>> tmp;
+        tmp.reserve(hi - lo);
+        for (EdgeId i = lo; i < hi; ++i)
+            tmp.emplace_back(neighbors[i], weights[i]);
+        std::sort(tmp.begin(), tmp.end());
+        for (EdgeId i = lo; i < hi; ++i) {
+            neighbors[i] = tmp[i - lo].first;
+            weights[i] = tmp[i - lo].second;
+        }
+    }
+}
+
+} // namespace
+
+Graph
+buildGraph(VertexId num_vertices, EdgeList edges, const BuildOptions &opts)
+{
+    for (const Edge &e : edges) {
+        omega_assert(e.src < num_vertices && e.dst < num_vertices,
+                     "edge endpoint out of range");
+    }
+
+    if (opts.symmetrize) {
+        const std::size_t n = edges.size();
+        edges.reserve(2 * n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Edge &e = edges[i];
+            if (e.src != e.dst)
+                edges.push_back(Edge{e.dst, e.src, e.weight});
+        }
+    }
+
+    if (opts.remove_self_loops) {
+        edges.erase(std::remove_if(edges.begin(), edges.end(),
+                                   [](const Edge &e) {
+                                       return e.src == e.dst;
+                                   }),
+                    edges.end());
+    }
+
+    if (opts.deduplicate) {
+        std::sort(edges.begin(), edges.end(),
+                  [](const Edge &a, const Edge &b) {
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      if (a.dst != b.dst)
+                          return a.dst < b.dst;
+                      return a.weight < b.weight;
+                  });
+        edges.erase(std::unique(edges.begin(), edges.end(),
+                                [](const Edge &a, const Edge &b) {
+                                    return a.src == b.src && a.dst == b.dst;
+                                }),
+                    edges.end());
+    }
+
+    std::vector<EdgeId> out_off, in_off;
+    std::vector<VertexId> out_nbr, in_nbr;
+    std::vector<std::int32_t> out_w, in_w;
+    buildDirection(
+        num_vertices, edges, [](const Edge &e) { return e.src; },
+        [](const Edge &e) { return e.dst; }, out_off, out_nbr, out_w);
+    buildDirection(
+        num_vertices, edges, [](const Edge &e) { return e.dst; },
+        [](const Edge &e) { return e.src; }, in_off, in_nbr, in_w);
+
+    return Graph(num_vertices, std::move(out_off), std::move(out_nbr),
+                 std::move(out_w), std::move(in_off), std::move(in_nbr),
+                 std::move(in_w), opts.symmetrize);
+}
+
+} // namespace omega

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Edge-list to CSR conversion.
+ */
+
+#ifndef OMEGA_GRAPH_BUILDER_HH
+#define OMEGA_GRAPH_BUILDER_HH
+
+#include "graph/graph.hh"
+#include "graph/types.hh"
+
+namespace omega {
+
+/** Options controlling CSR construction. */
+struct BuildOptions
+{
+    /** Drop u->u arcs. */
+    bool remove_self_loops = true;
+    /** Collapse duplicate arcs (keeping the smallest weight). */
+    bool deduplicate = true;
+    /** Add the reverse of every arc and mark the graph symmetric. */
+    bool symmetrize = false;
+};
+
+/**
+ * Build a CSR Graph from an arc list.
+ *
+ * @param num_vertices vertex-id space size; all edge endpoints must be
+ *                     smaller.
+ * @param edges the arcs (directed). For symmetrize=true each undirected
+ *              edge may appear once; the builder mirrors it.
+ * @param opts construction options.
+ */
+Graph buildGraph(VertexId num_vertices, EdgeList edges,
+                 const BuildOptions &opts = {});
+
+} // namespace omega
+
+#endif // OMEGA_GRAPH_BUILDER_HH

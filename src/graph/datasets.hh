@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Registry of the 12 dataset stand-ins (paper Table I).
+ *
+ * The paper evaluates real-world graphs (SNAP, WebGraph, DIMACS). Offline,
+ * none of those are available here, so each is replaced by a synthetic
+ * stand-in fitted to the Table-I shape: the generator family reproduces the
+ * degree distribution (R-MAT / preferential attachment for power-law
+ * graphs, a grid mesh for road networks), the edge/vertex ratio matches,
+ * and the R-MAT skew parameter is tuned so the top-20% in/out-degree
+ * connectivity lands near the paper's column.
+ *
+ * Sizes are scaled down by `capacity_scale` (1/32 for most graphs, more for
+ * the giants) so cycle-level simulation is tractable; machine capacities
+ * are scaled by the same factor in the benches, which keeps every dataset
+ * in the same fits-in-scratchpad / fits-in-LLC regime as the paper.
+ */
+
+#ifndef OMEGA_GRAPH_DATASETS_HH
+#define OMEGA_GRAPH_DATASETS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace omega {
+
+/** Generator family for a stand-in. */
+enum class DatasetFamily { Rmat, BarabasiAlbert, RoadMesh };
+
+/** One Table-I row: paper reference values plus stand-in parameters. */
+struct DatasetSpec
+{
+    /** Short name used throughout the paper ("lj", "rCA", ...). */
+    std::string name;
+    /** Full dataset name ("ljournal-2008"). */
+    std::string paper_name;
+    DatasetFamily family = DatasetFamily::Rmat;
+    bool directed = true;
+
+    /** @name Paper Table-I reference values. @{ */
+    double paper_vertices_m = 0.0;
+    double paper_edges_m = 0.0;
+    double paper_in_conn_pct = 0.0;
+    double paper_out_conn_pct = 0.0;
+    bool paper_power_law = true;
+    /** @} */
+
+    /** stand-in V / paper V; benches scale on-chip capacities by this. */
+    double capacity_scale = 1.0 / 32.0;
+
+    /** @name Generator parameters. @{ */
+    unsigned rmat_scale = 0;
+    unsigned edge_factor = 0;
+    double rmat_a = 0.57;
+    double rmat_b = 0.19;
+    double rmat_c = 0.19;
+    VertexId ba_vertices = 0;
+    unsigned ba_m = 0;
+    VertexId road_width = 0;
+    VertexId road_height = 0;
+    /** @} */
+};
+
+/** All 12 stand-ins, in Table-I column order. */
+const std::vector<DatasetSpec> &allDatasets();
+
+/** Look up a spec by short name; nullopt if unknown. */
+std::optional<DatasetSpec> findDataset(const std::string &name);
+
+/**
+ * Generate the stand-in graph for @p spec.
+ *
+ * @param spec which dataset.
+ * @param seed RNG seed (default 42 gives the canonical instance used by
+ *             all benches).
+ */
+Graph buildDataset(const DatasetSpec &spec, std::uint64_t seed = 42);
+
+/** Convenience overload by name; fatal() on unknown name. */
+Graph buildDataset(const std::string &name, std::uint64_t seed = 42);
+
+/**
+ * The subset of datasets the detailed-simulation benches iterate
+ * (excludes uk/twitter, which the paper also could not run in gem5 and
+ * handles with the high-level model of Fig 20).
+ */
+std::vector<DatasetSpec> simulationDatasets();
+
+} // namespace omega
+
+#endif // OMEGA_GRAPH_DATASETS_HH

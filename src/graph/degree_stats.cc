@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Degree statistics implementation.
+ */
+
+#include "graph/degree_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace omega {
+
+std::vector<VertexId>
+verticesByInDegree(const Graph &g)
+{
+    std::vector<VertexId> order(g.numVertices());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&g](VertexId a, VertexId b) {
+                         return g.inDegree(a) > g.inDegree(b);
+                     });
+    return order;
+}
+
+std::vector<VertexId>
+verticesByOutDegree(const Graph &g)
+{
+    std::vector<VertexId> order(g.numVertices());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&g](VertexId a, VertexId b) {
+                         return g.outDegree(a) > g.outDegree(b);
+                     });
+    return order;
+}
+
+double
+degreeConnectivity(const Graph &g, bool use_in_degree, double fraction)
+{
+    if (g.numVertices() == 0 || g.numArcs() == 0)
+        return 0.0;
+    std::vector<EdgeId> degrees(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        degrees[v] = use_in_degree ? g.inDegree(v) : g.outDegree(v);
+    std::sort(degrees.begin(), degrees.end(), std::greater<>());
+    const auto top = static_cast<std::size_t>(
+        fraction * static_cast<double>(g.numVertices()));
+    EdgeId covered = 0;
+    for (std::size_t i = 0; i < top && i < degrees.size(); ++i)
+        covered += degrees[i];
+    return static_cast<double>(covered) / static_cast<double>(g.numArcs());
+}
+
+DegreeStats
+computeDegreeStats(const Graph &g)
+{
+    DegreeStats s;
+    s.num_vertices = g.numVertices();
+    s.num_edges = g.numEdges();
+    s.symmetric = g.symmetric();
+    s.in_degree_connectivity = degreeConnectivity(g, true, 0.20);
+    s.out_degree_connectivity = degreeConnectivity(g, false, 0.20);
+    s.power_law =
+        s.in_degree_connectivity >= kPowerLawConnectivityThreshold;
+    EdgeId max_in = 0;
+    EdgeId max_out = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        max_in = std::max(max_in, g.inDegree(v));
+        max_out = std::max(max_out, g.outDegree(v));
+    }
+    s.max_in_degree = static_cast<double>(max_in);
+    s.max_out_degree = static_cast<double>(max_out);
+    s.avg_degree =
+        g.numVertices()
+            ? static_cast<double>(g.numArcs()) / g.numVertices()
+            : 0.0;
+    return s;
+}
+
+double
+powerLawExponentMLE(const Graph &g, EdgeId d_min)
+{
+    double log_sum = 0.0;
+    std::uint64_t n = 0;
+    const double x_min = static_cast<double>(d_min) - 0.5;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const EdgeId d = g.inDegree(v);
+        if (d >= d_min) {
+            log_sum += std::log(static_cast<double>(d) / x_min);
+            ++n;
+        }
+    }
+    if (n == 0 || log_sum <= 0.0)
+        return 0.0;
+    return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+std::vector<std::uint64_t>
+inDegreeHistogram(const Graph &g)
+{
+    EdgeId max_deg = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        max_deg = std::max(max_deg, g.inDegree(v));
+    std::vector<std::uint64_t> hist(max_deg + 1, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ++hist[g.inDegree(v)];
+    return hist;
+}
+
+} // namespace omega

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dynamic graph implementation.
+ */
+
+#include "graph/dynamic.hh"
+
+#include <algorithm>
+
+#include "graph/builder.hh"
+#include "util/logging.hh"
+
+namespace omega {
+
+DynamicGraph::DynamicGraph(VertexId num_vertices, EdgeList arcs)
+    : num_vertices_(num_vertices), arcs_(std::move(arcs))
+{
+    for (const Edge &e : arcs_) {
+        omega_assert(e.src < num_vertices_ && e.dst < num_vertices_,
+                     "arc endpoint out of range");
+    }
+}
+
+DynamicGraph::DynamicGraph(const Graph &g)
+    : DynamicGraph(g.numVertices(), g.toEdgeList())
+{
+}
+
+void
+DynamicGraph::addEdge(const Edge &e)
+{
+    omega_assert(e.src < num_vertices_ && e.dst < num_vertices_,
+                 "arc endpoint out of range");
+    insertions_.push_back(e);
+}
+
+void
+DynamicGraph::removeEdge(VertexId u, VertexId v)
+{
+    removals_.emplace_back(u, v);
+}
+
+void
+DynamicGraph::applyPending()
+{
+    if (!removals_.empty()) {
+        std::sort(removals_.begin(), removals_.end());
+        arcs_.erase(std::remove_if(arcs_.begin(), arcs_.end(),
+                                   [this](const Edge &e) {
+                                       return std::binary_search(
+                                           removals_.begin(),
+                                           removals_.end(),
+                                           std::make_pair(e.src, e.dst));
+                                   }),
+                    arcs_.end());
+        removals_.clear();
+    }
+    arcs_.insert(arcs_.end(), insertions_.begin(), insertions_.end());
+    insertions_.clear();
+}
+
+const Graph &
+DynamicGraph::rebuild()
+{
+    applyPending();
+    graph_ = buildGraph(num_vertices_, arcs_);
+    built_ = true;
+    return graph_;
+}
+
+const Graph &
+DynamicGraph::rebuildReordered(ReorderKind kind, double hot_fraction)
+{
+    applyPending();
+    Graph flat = buildGraph(num_vertices_, arcs_);
+    const auto perm =
+        buildReorderPermutation(flat, kind, hot_fraction);
+    // Renumber the master arc list so future rebuilds keep the order.
+    for (Edge &e : arcs_) {
+        e.src = perm[e.src];
+        e.dst = perm[e.dst];
+    }
+    graph_ = buildGraph(num_vertices_, arcs_);
+    built_ = true;
+    return graph_;
+}
+
+const Graph &
+DynamicGraph::current() const
+{
+    omega_assert(built_, "rebuild() before current()");
+    return graph_;
+}
+
+} // namespace omega

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dynamic-graph support (paper section IX).
+ *
+ * OMEGA identifies hot vertices with an offline reordering pass; for
+ * dynamic graphs the paper notes that re-running the (linear-time
+ * nth-element) reordering re-establishes the benefit as the degree
+ * distribution drifts. This module provides a batched-update graph:
+ * accumulate edge insertions/removals, then rebuild the CSR either
+ * in-place (ids stable, hot set possibly stale) or with a fresh
+ * hot-first renumbering.
+ */
+
+#ifndef OMEGA_GRAPH_DYNAMIC_HH
+#define OMEGA_GRAPH_DYNAMIC_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+#include "graph/reorder.hh"
+
+namespace omega {
+
+/** A graph under batched edge churn. */
+class DynamicGraph
+{
+  public:
+    /** Start from an arc list (directed arcs, same as the builder). */
+    DynamicGraph(VertexId num_vertices, EdgeList arcs);
+    /** Start from an existing graph (its arcs are extracted). */
+    explicit DynamicGraph(const Graph &g);
+
+    VertexId numVertices() const { return num_vertices_; }
+    /** Arcs currently in the graph (committed, excludes pending). */
+    std::size_t numArcs() const { return arcs_.size(); }
+    std::size_t pendingInsertions() const { return insertions_.size(); }
+    std::size_t pendingRemovals() const { return removals_.size(); }
+
+    /** Queue an arc insertion (applied at the next rebuild). */
+    void addEdge(const Edge &e);
+    /** Queue removal of every u->v arc. */
+    void removeEdge(VertexId u, VertexId v);
+
+    /**
+     * Apply pending updates and rebuild the CSR with vertex ids
+     * UNCHANGED — the scratchpad-resident set goes stale as hubs drift.
+     */
+    const Graph &rebuild();
+
+    /**
+     * Apply pending updates and rebuild with a fresh hot-first
+     * renumbering (the paper's proposed adaptation). Subsequent
+     * rebuilds keep the new numbering until called again.
+     *
+     * @param kind reordering strategy (the deployed nth-element default).
+     * @param hot_fraction boundary for the partial strategies.
+     */
+    const Graph &rebuildReordered(
+        ReorderKind kind = ReorderKind::InDegreeNthElement,
+        double hot_fraction = 0.20);
+
+    /** The last rebuilt graph (rebuild() must have been called). */
+    const Graph &current() const;
+
+    /** True if updates are pending since the last rebuild. */
+    bool dirty() const
+    {
+        return !insertions_.empty() || !removals_.empty();
+    }
+
+  private:
+    void applyPending();
+
+    VertexId num_vertices_;
+    EdgeList arcs_;
+    EdgeList insertions_;
+    std::vector<std::pair<VertexId, VertexId>> removals_;
+    Graph graph_;
+    bool built_ = false;
+};
+
+} // namespace omega
+
+#endif // OMEGA_GRAPH_DYNAMIC_HH

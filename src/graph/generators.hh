@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * These stand in for the paper's real-world datasets (SNAP, WebGraph,
+ * DIMACS road networks): R-MAT and Barabasi-Albert produce power-law
+ * ("natural") graphs; the road generator produces low-degree, high-diameter
+ * planar-ish meshes like roadNet-CA/PA and Western-USA.
+ */
+
+#ifndef OMEGA_GRAPH_GENERATORS_HH
+#define OMEGA_GRAPH_GENERATORS_HH
+
+#include "graph/graph.hh"
+#include "graph/types.hh"
+#include "util/rng.hh"
+
+namespace omega {
+
+/** R-MAT recursive-partitioning parameters (Chakrabarti et al., ICDM'04). */
+struct RmatParams
+{
+    double a = 0.57;
+    double b = 0.19;
+    double c = 0.19;
+    /** d is implied: 1 - a - b - c. */
+    /** Max weight assigned to each edge (uniform in [1, max_weight]). */
+    std::int32_t max_weight = 16;
+};
+
+/**
+ * Generate an R-MAT arc list.
+ *
+ * @param scale log2 of the vertex count.
+ * @param edge_factor arcs per vertex.
+ * @param rng random source.
+ * @param params quadrant probabilities.
+ */
+EdgeList generateRmat(unsigned scale, unsigned edge_factor, Rng &rng,
+                      const RmatParams &params = {});
+
+/**
+ * Generate a Barabasi-Albert preferential-attachment graph (undirected
+ * edge list; symmetrize when building). Produces a clean power law, the
+ * "preferential attachment" mechanism the paper cites for natural graphs.
+ *
+ * @param num_vertices total vertices.
+ * @param edges_per_vertex attachment edges added per arriving vertex.
+ */
+EdgeList generateBarabasiAlbert(VertexId num_vertices,
+                                unsigned edges_per_vertex, Rng &rng,
+                                std::int32_t max_weight = 16);
+
+/**
+ * Generate a road-network-like mesh: a width x height 4-neighbor grid with
+ * a small fraction of random "highway" shortcuts and a fraction of removed
+ * local roads. Degrees are nearly uniform (2-5), so the graph does NOT
+ * follow the power law — matching rCA/rPA/USA in Table I.
+ */
+EdgeList generateRoadMesh(VertexId width, VertexId height, double shortcut_fraction,
+                          double removal_fraction, Rng &rng,
+                          std::int32_t max_weight = 64);
+
+/** Erdos-Renyi G(n, m) arc list; uniform random, not power law. */
+EdgeList generateErdosRenyi(VertexId num_vertices, EdgeId num_arcs, Rng &rng,
+                            std::int32_t max_weight = 16);
+
+} // namespace omega
+
+#endif // OMEGA_GRAPH_GENERATORS_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * CSR graph implementation.
+ */
+
+#include "graph/graph.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+Graph::Graph(VertexId num_vertices,
+             std::vector<EdgeId> out_offsets,
+             std::vector<VertexId> out_neighbors,
+             std::vector<std::int32_t> out_weights,
+             std::vector<EdgeId> in_offsets,
+             std::vector<VertexId> in_neighbors,
+             std::vector<std::int32_t> in_weights,
+             bool symmetric)
+    : num_vertices_(num_vertices),
+      symmetric_(symmetric),
+      out_offsets_(std::move(out_offsets)),
+      out_neighbors_(std::move(out_neighbors)),
+      out_weights_(std::move(out_weights)),
+      in_offsets_(std::move(in_offsets)),
+      in_neighbors_(std::move(in_neighbors)),
+      in_weights_(std::move(in_weights))
+{
+    omega_assert(out_offsets_.size() == num_vertices_ + std::size_t(1),
+                 "out offsets size mismatch");
+    omega_assert(in_offsets_.size() == num_vertices_ + std::size_t(1),
+                 "in offsets size mismatch");
+    omega_assert(out_neighbors_.size() == out_weights_.size(),
+                 "out weights size mismatch");
+    omega_assert(in_neighbors_.size() == in_weights_.size(),
+                 "in weights size mismatch");
+}
+
+bool
+Graph::validate() const
+{
+    if (out_offsets_.empty() || in_offsets_.empty())
+        return num_vertices_ == 0;
+    if (out_offsets_.front() != 0 || in_offsets_.front() != 0)
+        return false;
+    if (out_offsets_.back() != out_neighbors_.size())
+        return false;
+    if (in_offsets_.back() != in_neighbors_.size())
+        return false;
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+        if (out_offsets_[v] > out_offsets_[v + 1])
+            return false;
+        if (in_offsets_[v] > in_offsets_[v + 1])
+            return false;
+    }
+    auto in_range = [this](VertexId u) { return u < num_vertices_; };
+    if (!std::all_of(out_neighbors_.begin(), out_neighbors_.end(), in_range))
+        return false;
+    if (!std::all_of(in_neighbors_.begin(), in_neighbors_.end(), in_range))
+        return false;
+    // Arc-count consistency: sum of in-degrees equals sum of out-degrees.
+    if (out_neighbors_.size() != in_neighbors_.size())
+        return false;
+    return true;
+}
+
+Graph
+Graph::permuted(const std::vector<VertexId> &perm) const
+{
+    omega_assert(perm.size() == num_vertices_, "permutation size mismatch");
+
+    std::vector<EdgeId> out_off(num_vertices_ + 1, 0);
+    std::vector<EdgeId> in_off(num_vertices_ + 1, 0);
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+        out_off[perm[v] + 1] = outDegree(v);
+        in_off[perm[v] + 1] = inDegree(v);
+    }
+    std::partial_sum(out_off.begin(), out_off.end(), out_off.begin());
+    std::partial_sum(in_off.begin(), in_off.end(), in_off.begin());
+
+    std::vector<VertexId> out_nbr(out_neighbors_.size());
+    std::vector<std::int32_t> out_w(out_weights_.size());
+    std::vector<VertexId> in_nbr(in_neighbors_.size());
+    std::vector<std::int32_t> in_w(in_weights_.size());
+
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+        const VertexId nv = perm[v];
+        EdgeId pos = out_off[nv];
+        auto nbrs = outNeighbors(v);
+        auto ws = outWeights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i, ++pos) {
+            out_nbr[pos] = perm[nbrs[i]];
+            out_w[pos] = ws[i];
+        }
+        pos = in_off[nv];
+        nbrs = inNeighbors(v);
+        ws = inWeights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i, ++pos) {
+            in_nbr[pos] = perm[nbrs[i]];
+            in_w[pos] = ws[i];
+        }
+    }
+    // Keep neighbor lists sorted for deterministic traversal order.
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+        auto sort_range = [](std::vector<VertexId> &nbr,
+                             std::vector<std::int32_t> &w, EdgeId lo,
+                             EdgeId hi) {
+            std::vector<std::pair<VertexId, std::int32_t>> tmp;
+            tmp.reserve(hi - lo);
+            for (EdgeId i = lo; i < hi; ++i)
+                tmp.emplace_back(nbr[i], w[i]);
+            std::sort(tmp.begin(), tmp.end());
+            for (EdgeId i = lo; i < hi; ++i) {
+                nbr[i] = tmp[i - lo].first;
+                w[i] = tmp[i - lo].second;
+            }
+        };
+        sort_range(out_nbr, out_w, out_off[v], out_off[v + 1]);
+        sort_range(in_nbr, in_w, in_off[v], in_off[v + 1]);
+    }
+
+    return Graph(num_vertices_, std::move(out_off), std::move(out_nbr),
+                 std::move(out_w), std::move(in_off), std::move(in_nbr),
+                 std::move(in_w), symmetric_);
+}
+
+EdgeList
+Graph::toEdgeList() const
+{
+    EdgeList edges;
+    edges.reserve(out_neighbors_.size());
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+        auto nbrs = outNeighbors(v);
+        auto ws = outWeights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            edges.push_back(Edge{v, nbrs[i], ws[i]});
+    }
+    return edges;
+}
+
+} // namespace omega

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Edge-list I/O implementation.
+ */
+
+#include "graph/io.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/string_utils.hh"
+
+namespace omega {
+
+EdgeList
+readEdgeList(std::istream &is, VertexId &max_vertex)
+{
+    EdgeList edges;
+    max_vertex = 0;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '#' || t[0] == '%')
+            continue;
+        std::istringstream ls(t);
+        unsigned long long src = 0;
+        unsigned long long dst = 0;
+        long long weight = 1;
+        if (!(ls >> src >> dst))
+            fatal("malformed edge list line ", lineno, ": '", t, "'");
+        ls >> weight;
+        Edge e;
+        e.src = static_cast<VertexId>(src);
+        e.dst = static_cast<VertexId>(dst);
+        e.weight = static_cast<std::int32_t>(weight);
+        max_vertex = std::max({max_vertex, e.src, e.dst});
+        edges.push_back(e);
+    }
+    return edges;
+}
+
+Graph
+loadGraphFile(const std::string &path, const BuildOptions &opts)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open graph file '", path, "'");
+    VertexId max_vertex = 0;
+    EdgeList edges = readEdgeList(is, max_vertex);
+    const VertexId n = edges.empty() ? 0 : max_vertex + 1;
+    return buildGraph(n, std::move(edges), opts);
+}
+
+void
+writeEdgeList(std::ostream &os, const Graph &g)
+{
+    os << "# vertices " << g.numVertices() << " arcs " << g.numArcs()
+       << (g.symmetric() ? " symmetric" : " directed") << "\n";
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        auto nbrs = g.outNeighbors(v);
+        auto ws = g.outWeights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            os << v << " " << nbrs[i] << " " << ws[i] << "\n";
+    }
+}
+
+void
+saveGraphFile(const std::string &path, const Graph &g)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeEdgeList(os, g);
+}
+
+} // namespace omega

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Plain-text edge-list I/O.
+ *
+ * Format: one "src dst [weight]" triple per line; '#' starts a comment.
+ * Compatible with SNAP-style edge lists so users can drop in real datasets.
+ */
+
+#ifndef OMEGA_GRAPH_IO_HH
+#define OMEGA_GRAPH_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/builder.hh"
+#include "graph/types.hh"
+
+namespace omega {
+
+/** Parse an edge list from a stream. Returns edges; sets @p max_vertex. */
+EdgeList readEdgeList(std::istream &is, VertexId &max_vertex);
+
+/** Load a file and build a graph (fatal() on I/O errors). */
+Graph loadGraphFile(const std::string &path, const BuildOptions &opts = {});
+
+/** Write the graph's arcs as an edge list. */
+void writeEdgeList(std::ostream &os, const Graph &g);
+
+/** Save to file (fatal() on I/O errors). */
+void saveGraphFile(const std::string &path, const Graph &g);
+
+} // namespace omega
+
+#endif // OMEGA_GRAPH_IO_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Graph slicing for scratchpad scaling (paper section VII).
+ *
+ * When a graph's hot vtxProp exceeds the scratchpads, the paper proposes
+ * processing the graph in destination-range slices and reconfiguring the
+ * scratchpads per slice. Two policies are described (their evaluation is
+ * left to future work in the paper; this module implements both):
+ *
+ *  - FitAllVtxProp (approach 2): each slice's FULL destination range must
+ *    fit in the scratchpads;
+ *  - FitHotVtxProp (approach 3): only each slice's hot fraction (top 20%)
+ *    must fit — giving up to 1/hot_fraction (= 5x) fewer slices and
+ *    proportionally less slicing overhead.
+ */
+
+#ifndef OMEGA_GRAPH_SLICING_HH
+#define OMEGA_GRAPH_SLICING_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace omega {
+
+/** Slice-boundary policy (paper section VII, approaches 2 and 3). */
+enum class SlicingPolicy
+{
+    FitAllVtxProp,
+    FitHotVtxProp,
+};
+
+/** A destination-range slice plan. */
+struct SlicingPlan
+{
+    SlicingPolicy policy = SlicingPolicy::FitAllVtxProp;
+    /** Half-open destination ranges [begin, end), covering all vertices. */
+    std::vector<std::pair<VertexId, VertexId>> ranges;
+
+    std::size_t numSlices() const { return ranges.size(); }
+};
+
+/**
+ * Plan slice boundaries for @p g.
+ *
+ * @param g the graph (hot-first reordered for FitHotVtxProp to be
+ *          meaningful — the hot vertices of a range are its lowest ids).
+ * @param sp_total_bytes scratchpad capacity.
+ * @param line_bytes scratchpad bytes per vertex (props + active bit).
+ * @param policy boundary policy.
+ * @param hot_fraction hot share per slice for FitHotVtxProp.
+ */
+SlicingPlan planSlices(const Graph &g, std::uint64_t sp_total_bytes,
+                       std::uint32_t line_bytes, SlicingPolicy policy,
+                       double hot_fraction = 0.20);
+
+/**
+ * Materialize the subgraph of arcs whose DESTINATION falls in
+ * [begin, end). The vertex-id space is preserved (sources keep their
+ * ids), so per-vertex state carries across slices.
+ */
+Graph sliceByDestination(const Graph &g, VertexId begin, VertexId end);
+
+/** Materialize every slice of @p plan. */
+std::vector<Graph> sliceGraph(const Graph &g, const SlicingPlan &plan);
+
+} // namespace omega
+
+#endif // OMEGA_GRAPH_SLICING_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Area/power model implementation.
+ *
+ * Calibration targets (paper Table IV, per core slice):
+ *   core 3.11 W / 24.08 mm^2; L1s 0.20 W / 0.42 mm^2;
+ *   2 MB L2 2.86 W / 8.41 mm^2; 1 MB L2 1.50 W / 4.47 mm^2;
+ *   1 MB scratchpad 1.40 W / 3.17 mm^2; PISC 0.004 W / 0.01 mm^2.
+ */
+
+#include "model/area_power.hh"
+
+namespace omega {
+
+ComponentAP
+NodeAreaPower::total() const
+{
+    ComponentAP t;
+    t += core;
+    t += l1;
+    t += scratchpad;
+    t += pisc;
+    t += l2;
+    return t;
+}
+
+ComponentAP
+cacheAreaPower(double mbytes)
+{
+    if (mbytes <= 0.0)
+        return {0.0, 0.0};
+    // Linear fits through the paper's 1 MB and 2 MB L2 points.
+    return {0.14 + 1.36 * mbytes, 0.53 + 3.94 * mbytes};
+}
+
+ComponentAP
+scratchpadAreaPower(double mbytes)
+{
+    if (mbytes <= 0.0)
+        return {0.0, 0.0};
+    return {1.40 * mbytes, 3.17 * mbytes};
+}
+
+ComponentAP
+piscAreaPower()
+{
+    return {0.004, 0.01};
+}
+
+ComponentAP
+coreAreaPower()
+{
+    return {3.11, 24.08};
+}
+
+ComponentAP
+l1AreaPower()
+{
+    return {0.20, 0.42};
+}
+
+NodeAreaPower
+nodeAreaPower(const MachineParams &params)
+{
+    NodeAreaPower node;
+    node.core = coreAreaPower();
+    node.l1 = l1AreaPower();
+    const double l2_mb = static_cast<double>(params.l2.size_bytes) /
+                         (1024.0 * 1024.0) / params.num_cores;
+    node.l2 = cacheAreaPower(l2_mb);
+    if (params.sp_total_bytes > 0) {
+        const double sp_mb = static_cast<double>(params.sp_total_bytes) /
+                             (1024.0 * 1024.0) / params.num_cores;
+        node.scratchpad = scratchpadAreaPower(sp_mb);
+        if (params.pisc_enabled)
+            node.pisc = piscAreaPower();
+    }
+    return node;
+}
+
+} // namespace omega

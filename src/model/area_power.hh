@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Area and peak-power model (paper Table IV).
+ *
+ * Stands in for McPAT + Cacti + the paper's 45 nm PISC synthesis: linear
+ * capacity models for SRAM arrays calibrated so the paper's exact
+ * configurations (2 MB L2 slice, 1 MB L2 + 1 MB scratchpad) reproduce the
+ * Table-IV numbers. Scratchpads are direct-mapped and tag-less, hence
+ * cheaper per MB than the set-associative L2.
+ */
+
+#ifndef OMEGA_MODEL_AREA_POWER_HH
+#define OMEGA_MODEL_AREA_POWER_HH
+
+#include "sim/params.hh"
+
+namespace omega {
+
+/** Peak power (W) and area (mm^2) of one component. */
+struct ComponentAP
+{
+    double power_w = 0.0;
+    double area_mm2 = 0.0;
+
+    ComponentAP &
+    operator+=(const ComponentAP &o)
+    {
+        power_w += o.power_w;
+        area_mm2 += o.area_mm2;
+        return *this;
+    }
+};
+
+/** Per-core-slice ("node") breakdown, Table IV rows. */
+struct NodeAreaPower
+{
+    ComponentAP core;
+    ComponentAP l1;
+    ComponentAP scratchpad;
+    ComponentAP pisc;
+    ComponentAP l2;
+
+    ComponentAP total() const;
+};
+
+/** @name Calibrated component models. @{ */
+/** Set-associative cache slice of @p mbytes MB. */
+ComponentAP cacheAreaPower(double mbytes);
+/** Direct-mapped (tag-less) scratchpad of @p mbytes MB. */
+ComponentAP scratchpadAreaPower(double mbytes);
+/** One PISC engine (dominated by its FP adder). */
+ComponentAP piscAreaPower();
+/** One OoO core (8-wide, 192-entry ROB, 45 nm). */
+ComponentAP coreAreaPower();
+/** Both L1 caches of one core. */
+ComponentAP l1AreaPower();
+/** @} */
+
+/** Table-IV breakdown for one core slice of @p params. */
+NodeAreaPower nodeAreaPower(const MachineParams &params);
+
+} // namespace omega
+
+#endif // OMEGA_MODEL_AREA_POWER_HH

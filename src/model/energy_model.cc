@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Energy model implementation.
+ */
+
+#include "model/energy_model.hh"
+
+#include "model/area_power.hh"
+
+namespace omega {
+
+EnergyBreakdown
+computeMemoryEnergy(const StatsReport &stats, const MachineParams &params,
+                    const EnergyParams &ep)
+{
+    EnergyBreakdown e;
+    constexpr double pj = 1e-12;
+
+    e.cache_j = (static_cast<double>(stats.l1_accesses) * ep.l1_access_pj +
+                 static_cast<double>(stats.l2_accesses) * ep.l2_access_pj) *
+                pj;
+    e.scratchpad_j =
+        (static_cast<double>(stats.sp_accesses) * ep.sp_access_pj +
+         static_cast<double>(stats.pisc_busy_cycles) * ep.pisc_op_pj) *
+        pj;
+    e.noc_j = static_cast<double>(stats.onchip_flits) * ep.noc_flit_pj * pj;
+    e.dram_j = static_cast<double>(stats.dramBytes()) * ep.dram_byte_pj * pj;
+    e.atomic_j = static_cast<double>(stats.atomics_on_core) *
+                 ep.core_atomic_pj * pj;
+
+    // Leakage of the on-chip SRAM arrays over the simulated time.
+    const double seconds =
+        static_cast<double>(stats.cycles) / (params.clock_ghz * 1e9);
+    const double l2_mb = static_cast<double>(params.l2.size_bytes) /
+                         (1024.0 * 1024.0) / params.num_cores;
+    double sram_peak_w =
+        params.num_cores *
+        (l1AreaPower().power_w + cacheAreaPower(l2_mb).power_w);
+    if (params.sp_total_bytes > 0) {
+        const double sp_mb = static_cast<double>(params.sp_total_bytes) /
+                             (1024.0 * 1024.0) / params.num_cores;
+        sram_peak_w +=
+            params.num_cores * scratchpadAreaPower(sp_mb).power_w;
+    }
+    e.static_j = sram_peak_w * ep.sram_leakage_fraction * seconds;
+
+    return e;
+}
+
+} // namespace omega

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Memory-system energy model (paper Fig 21).
+ *
+ * Event-based: every component charges a per-access energy, and the SRAM
+ * arrays add leakage proportional to their Table-IV static power over the
+ * run's simulated time. Driven entirely by a StatsReport, so baseline and
+ * OMEGA runs are compared with identical accounting. The paper's result —
+ * ~2.5x lower memory energy, dominated by fewer DRAM accesses and by
+ * scratchpad accesses being cheaper than cache accesses — falls out of
+ * the counter differences.
+ */
+
+#ifndef OMEGA_MODEL_ENERGY_MODEL_HH
+#define OMEGA_MODEL_ENERGY_MODEL_HH
+
+#include "sim/params.hh"
+#include "sim/stats_report.hh"
+
+namespace omega {
+
+/** Per-event energies in picojoules (45 nm-class constants). */
+struct EnergyParams
+{
+    double l1_access_pj = 25.0;
+    /** Per-access dynamic energy of the large shared L2. */
+    double l2_access_pj = 240.0;
+    /** Direct-mapped scratchpad word access (no tag match). */
+    double sp_access_pj = 40.0;
+    /** Crossbar energy per flit-hop. */
+    double noc_flit_pj = 30.0;
+    /** DRAM energy per byte transferred. */
+    double dram_byte_pj = 60.0;
+    /** PISC micro-op energy. */
+    double pisc_op_pj = 2.0;
+    /** Core-executed atomic (pipeline + L1 RMW). */
+    double core_atomic_pj = 150.0;
+    /** Fraction of Table-IV peak SRAM power that is leakage. */
+    double sram_leakage_fraction = 0.35;
+};
+
+/** Energy split of one run, joules. */
+struct EnergyBreakdown
+{
+    double cache_j = 0.0;      ///< L1 + L2 dynamic
+    double scratchpad_j = 0.0; ///< scratchpad + PISC dynamic
+    double noc_j = 0.0;
+    double dram_j = 0.0;
+    double static_j = 0.0; ///< SRAM leakage over the run
+    double atomic_j = 0.0; ///< core-executed atomics
+
+    double total() const
+    {
+        return cache_j + scratchpad_j + noc_j + dram_j + static_j +
+               atomic_j;
+    }
+};
+
+/**
+ * Compute the memory-system energy of a run.
+ *
+ * @param stats simulation counters.
+ * @param params machine configuration (capacities for leakage).
+ * @param ep energy constants.
+ */
+EnergyBreakdown computeMemoryEnergy(const StatsReport &stats,
+                                    const MachineParams &params,
+                                    const EnergyParams &ep = {});
+
+} // namespace omega
+
+#endif // OMEGA_MODEL_ENERGY_MODEL_HH

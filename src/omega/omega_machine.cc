@@ -1,0 +1,360 @@
+/**
+ * @file
+ * OMEGA machine implementation.
+ */
+
+#include "omega/omega_machine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+OmegaMachine::OmegaMachine(const MachineParams &params)
+    : params_(params),
+      hierarchy_(params),
+      controller_(params.num_cores, params.sp_chunk_size)
+{
+    omega_assert(params.sp_total_bytes > 0,
+                 "OmegaMachine needs scratchpad capacity; use "
+                 "MachineParams::omega()");
+    const std::uint64_t per_core = params.sp_total_bytes / params.num_cores;
+    cores_.reserve(params.num_cores);
+    for (unsigned c = 0; c < params.num_cores; ++c) {
+        cores_.emplace_back(params);
+        scratchpads_.emplace_back(per_core, params.sp_latency);
+        piscs_.emplace_back();
+        svbs_.emplace_back(params.svb_entries);
+    }
+    sparse_append_count_.assign(params.num_cores, 0);
+}
+
+void
+OmegaMachine::configure(const MachineConfig &config)
+{
+    config_ = config;
+
+    // Scratchpad line: all vtxProp entries of one vertex plus the dense
+    // active-list bit (rounded up into one byte).
+    std::uint32_t line_bytes = 1;
+    for (const auto &p : config.props)
+        line_bytes += p.type_size;
+
+    VertexId lines_per_sp = 0;
+    for (auto &sp : scratchpads_)
+        lines_per_sp = sp.setLineBytes(line_bytes);
+
+    const std::uint64_t total_lines =
+        static_cast<std::uint64_t>(lines_per_sp) * params_.num_cores;
+    const VertexId resident = static_cast<VertexId>(
+        std::min<std::uint64_t>(total_lines, config.num_vertices));
+    controller_.configure(config.props, resident);
+
+    for (auto &pisc : piscs_)
+        pisc.loadMicrocode(config.microcode_program,
+                           config.microcode_cycles,
+                           config.microcode_initiation);
+}
+
+void
+OmegaMachine::compute(unsigned core, std::uint64_t ops)
+{
+    cores_[core].compute(ops);
+}
+
+void
+OmegaMachine::countVertexAccess(VertexId vertex)
+{
+    ++vtxprop_accesses_;
+    if (vertex < config_.hot_boundary)
+        ++vtxprop_hot_accesses_;
+}
+
+Cycles
+OmegaMachine::scratchpadAccess(unsigned core, const SpRoute &route,
+                               std::uint32_t bytes, bool write)
+{
+    Scratchpad &sp = scratchpads_[route.home];
+    if (write)
+        sp.recordWrite(bytes);
+    else
+        sp.recordRead(bytes);
+
+    if (route.home == core) {
+        ++sp_local_;
+        return sp.latency();
+    }
+    ++sp_remote_;
+    // Word-granularity packets: the request carries the address (and the
+    // store payload); the response carries the loaded word (or an ack).
+    // With sp_word_granularity disabled (the section-IX "locked cache
+    // lines" alternative) whole lines move instead, costing extra flits.
+    const std::uint32_t payload =
+        params_.sp_word_granularity ? bytes : params_.l2.line_bytes;
+    if (write) {
+        hierarchy_.xbar().recordTransfer(payload);
+        hierarchy_.xbar().recordControl();
+    } else {
+        hierarchy_.xbar().recordControl();
+        hierarchy_.xbar().recordTransfer(payload);
+    }
+    const Cycles serialization =
+        (payload + params_.xbar_header_bytes + params_.xbar_flit_bytes -
+         1) / params_.xbar_flit_bytes - 1;
+    return sp.latency() + hierarchy_.xbar().roundTrip() + serialization;
+}
+
+void
+OmegaMachine::cacheAccess(const MemAccess &access)
+{
+    CoreModel &core = cores_[access.core];
+    if (!access.blocking)
+        core.prepareIssue();
+    const bool prefetched =
+        access.sequential && params_.stream_prefetch;
+    const Cycles lat =
+        hierarchy_.access(access.core, access.addr,
+                          access.op == MemOp::Store, core.now(),
+                          prefetched);
+    core.issueMemory(lat, access.blocking);
+}
+
+void
+OmegaMachine::memAccess(const MemAccess &access)
+{
+    if (access.cls == AccessClass::VertexProp) {
+        countVertexAccess(access.vertex);
+        if (auto route = controller_.route(access.addr)) {
+            CoreModel &core = cores_[access.core];
+            const Cycles lat =
+                scratchpadAccess(access.core, *route, access.size,
+                                 access.op == MemOp::Store);
+            core.issueMemory(lat, access.blocking);
+            return;
+        }
+    }
+    cacheAccess(access);
+}
+
+void
+OmegaMachine::readSrcProp(unsigned core, VertexId vertex,
+                          std::uint64_t addr, std::uint32_t size)
+{
+    countVertexAccess(vertex);
+    if (auto route = controller_.route(addr)) {
+        CoreModel &cm = cores_[core];
+        if (route->home == core) {
+            // Local scratchpad read; the buffer only caches remote data.
+            scratchpads_[route->home].recordRead(size);
+            ++sp_local_;
+            cm.issueMemory(scratchpads_[route->home].latency(), false);
+            return;
+        }
+        if (svbs_[core].lookupAndFill(vertex, route->prop)) {
+            cm.issueMemory(1, false); // served from the core-local buffer
+            return;
+        }
+        const Cycles lat = scratchpadAccess(core, *route, size, false);
+        cm.issueMemory(lat, false);
+        return;
+    }
+    MemAccess a;
+    a.core = core;
+    a.op = MemOp::Load;
+    a.addr = addr;
+    a.size = size;
+    a.cls = AccessClass::VertexProp;
+    a.vertex = vertex;
+    a.blocking = false;
+    cacheAccess(a);
+}
+
+void
+OmegaMachine::coreAtomic(const AtomicRequest &request)
+{
+    CoreModel &core = cores_[request.core];
+    ++atomics_on_core_;
+
+    if (auto route = controller_.route(request.addr)) {
+        // Scratchpad-resident but no PISC (SP-only ablation): the core
+        // performs the locked read-modify-write against the scratchpad at
+        // word granularity.
+        core.prepareIssue(StallKind::Atomic);
+        const Cycles rlat =
+            scratchpadAccess(request.core, *route, request.size, false);
+        core.issueMemory(rlat, false, StallKind::Atomic);
+        core.serialize(params_.atomic_serialize, StallKind::Atomic);
+        const Cycles wlat =
+            scratchpadAccess(request.core, *route, request.size, true);
+        core.issueMemory(wlat, false, StallKind::Atomic);
+        if (request.activates_dense) {
+            // The dense bit lives in the vertex's scratchpad line.
+            const Cycles blat =
+                scratchpadAccess(request.core, *route, 1, true);
+            core.issueMemory(blat, false);
+        }
+    } else {
+        core.prepareIssue(params_.atomics_as_plain ? StallKind::Memory
+                                                   : StallKind::Atomic);
+        const Cycles lat = hierarchy_.access(request.core, request.addr,
+                                             true, core.now());
+        if (params_.atomics_as_plain) {
+            core.issueMemory(lat, false);
+            core.compute(2);
+        } else {
+            core.issueMemory(lat, false, StallKind::Atomic);
+            core.serialize(params_.atomic_serialize, StallKind::Atomic);
+        }
+        if (request.activates_dense) {
+            MemAccess a;
+            a.core = request.core;
+            a.op = MemOp::Store;
+            a.addr = config_.dense_active_base + request.vertex;
+            a.size = 1;
+            a.cls = AccessClass::ActiveList;
+            cacheAccess(a);
+        }
+    }
+
+    if (request.activates_sparse) {
+        core.prepareIssue(StallKind::Atomic);
+        const Cycles clat = hierarchy_.access(
+            request.core, config_.sparse_counter_addr, true, core.now());
+        core.issueMemory(clat, false, StallKind::Atomic);
+        if (!params_.atomics_as_plain)
+            core.serialize(params_.atomic_serialize, StallKind::Atomic);
+        MemAccess a;
+        a.core = request.core;
+        a.op = MemOp::Store;
+        a.addr = config_.sparse_active_base +
+                 4 * (sparse_append_count_[request.core]++ *
+                          params_.num_cores +
+                      request.core);
+        a.size = 4;
+        a.cls = AccessClass::ActiveList;
+        cacheAccess(a);
+    }
+}
+
+void
+OmegaMachine::atomicUpdate(const AtomicRequest &request)
+{
+    ++atomics_total_;
+    countVertexAccess(request.vertex);
+
+    auto route = controller_.route(request.addr);
+    if (!route || !params_.pisc_enabled) {
+        coreAtomic(request);
+        return;
+    }
+
+    // Offload to the home PISC: fire-and-forget from the core.
+    ++atomics_offloaded_;
+    CoreModel &core = cores_[request.core];
+    core.busy(params_.pisc_send_cycles);
+
+    Cycles arrival = core.now();
+    if (route->home != request.core) {
+        // Offload packet: operand word + destination id, single flit.
+        hierarchy_.xbar().recordTransfer(request.operand_bytes + 4);
+        arrival += hierarchy_.xbar().oneWay();
+    }
+
+    Pisc &pisc = piscs_[route->home];
+    const Cycles start = controller_.beginAtomic(
+        request.vertex, arrival, pisc.programCycles());
+    const Cycles completion = pisc.execute(start);
+    (void)completion;
+    scratchpads_[route->home].recordAtomic();
+
+    // Active-list maintenance is offloaded too (paper section V.B).
+    if (request.activates_dense) {
+        // Dense bit lives in the scratchpad line the PISC just wrote.
+        scratchpads_[route->home].recordWrite(1);
+    }
+    if (request.activates_sparse) {
+        // The PISC appends the vertex id via the home core's L1 D-cache.
+        const std::uint64_t addr =
+            config_.sparse_active_base +
+            4 * (sparse_append_count_[route->home]++ * params_.num_cores +
+                 route->home);
+        hierarchy_.access(route->home, addr, true, completion);
+        pisc.extendBusy(2);
+    }
+}
+
+void
+OmegaMachine::barrier()
+{
+    Cycles t = global_cycles_;
+    for (auto &core : cores_) {
+        core.drain();
+        t = std::max(t, core.now());
+    }
+    // Offloaded atomics must complete before the next phase reads the
+    // updated properties.
+    for (const auto &pisc : piscs_)
+        t = std::max(t, pisc.lastCompletion());
+    for (auto &core : cores_)
+        core.syncTo(t);
+    global_cycles_ = t;
+}
+
+void
+OmegaMachine::endIteration()
+{
+    for (auto &svb : svbs_)
+        svb.invalidateAll();
+}
+
+Cycles
+OmegaMachine::coreNow(unsigned core) const
+{
+    return cores_[core].now();
+}
+
+Cycles
+OmegaMachine::cycles() const
+{
+    return global_cycles_;
+}
+
+StatsReport
+OmegaMachine::report() const
+{
+    StatsReport r;
+    r.cycles = global_cycles_;
+    hierarchy_.collect(r);
+    for (const auto &core : cores_) {
+        r.instructions += core.instructions();
+        r.compute_cycles += core.computeCycles();
+        r.mem_stall_cycles += core.memStallCycles();
+        r.atomic_stall_cycles += core.atomicStallCycles();
+        r.sync_stall_cycles += core.syncStallCycles();
+    }
+    for (const auto &sp : scratchpads_)
+        r.sp_accesses += sp.reads() + sp.writes() + sp.atomics();
+    for (const auto &pisc : piscs_) {
+        r.pisc_ops += pisc.ops();
+        r.pisc_busy_cycles += pisc.busyCycles();
+        r.pisc_max_busy_cycles =
+            std::max<std::uint64_t>(r.pisc_max_busy_cycles,
+                                    pisc.busyCycles());
+    }
+    for (const auto &svb : svbs_) {
+        r.svb_hits += svb.hits();
+        r.svb_misses += svb.misses();
+    }
+    r.sp_local = sp_local_;
+    r.sp_remote = sp_remote_;
+    r.pisc_blocked_conflicts = controller_.conflicts();
+    r.atomics_total = atomics_total_;
+    r.atomics_offloaded = atomics_offloaded_;
+    r.atomics_on_core = atomics_on_core_;
+    r.vtxprop_accesses = vtxprop_accesses_;
+    r.vtxprop_hot_accesses = vtxprop_hot_accesses_;
+    return r;
+}
+
+} // namespace omega

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The OMEGA machine: hybrid cache/scratchpad memory subsystem.
+ *
+ * Relative to the baseline, half of the L2 capacity is re-purposed as
+ * per-core scratchpads holding the vtxProp of the most-connected vertices
+ * (ids below the residency boundary after in-degree reordering). Requests
+ * are filtered by the scratchpad controller's monitor registers:
+ *
+ *  - monitored vtxProp accesses to resident vertices go to the home
+ *    scratchpad at word granularity (local: sp_latency; remote: plus a
+ *    crossbar round trip with a single-flit packet);
+ *  - atomic updates to resident vertices are offloaded to the home PISC,
+ *    fire-and-forget from the core;
+ *  - source-vertex reads consult the per-core source-vertex buffer;
+ *  - everything else (edgeList, nGraphData, cold vtxProp, active lists)
+ *    uses the regular MESI cache hierarchy, exactly as on the baseline.
+ */
+
+#ifndef OMEGA_OMEGA_OMEGA_MACHINE_HH
+#define OMEGA_OMEGA_OMEGA_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "omega/pisc.hh"
+#include "omega/scratchpad.hh"
+#include "omega/scratchpad_controller.hh"
+#include "omega/source_vertex_buffer.hh"
+#include "sim/coherence.hh"
+#include "sim/core_model.hh"
+#include "sim/memory_system.hh"
+
+namespace omega {
+
+/** OMEGA node (paper Fig 6 right side). */
+class OmegaMachine : public MemorySystem
+{
+  public:
+    explicit OmegaMachine(const MachineParams &params);
+
+    void configure(const MachineConfig &config) override;
+    void compute(unsigned core, std::uint64_t ops) override;
+    void memAccess(const MemAccess &access) override;
+    void readSrcProp(unsigned core, VertexId vertex, std::uint64_t addr,
+                     std::uint32_t size) override;
+    void atomicUpdate(const AtomicRequest &request) override;
+    void barrier() override;
+    void endIteration() override;
+    Cycles coreNow(unsigned core) const override;
+    Cycles cycles() const override;
+    StatsReport report() const override;
+    const MachineParams &params() const override { return params_; }
+    std::string name() const override
+    {
+        return params_.pisc_enabled ? "omega" : "omega-sp-only";
+    }
+
+    /** Number of vertices resident in the scratchpads this run. */
+    VertexId residentVertices() const
+    {
+        return controller_.residentVertices();
+    }
+    const ScratchpadController &controller() const { return controller_; }
+
+  private:
+    void countVertexAccess(VertexId vertex);
+    /** Scratchpad word access from @p core; returns core-visible latency. */
+    Cycles scratchpadAccess(unsigned core, const SpRoute &route,
+                            std::uint32_t bytes, bool write);
+    /** Fall back to the regular cache path. */
+    void cacheAccess(const MemAccess &access);
+    /** Core-executed atomic through the caches (cold vertices). */
+    void coreAtomic(const AtomicRequest &request);
+
+    MachineParams params_;
+    MachineConfig config_;
+    CacheHierarchy hierarchy_;
+    std::vector<CoreModel> cores_;
+    std::vector<Scratchpad> scratchpads_;
+    std::vector<Pisc> piscs_;
+    std::vector<SourceVertexBuffer> svbs_;
+    ScratchpadController controller_;
+    Cycles global_cycles_ = 0;
+
+    std::uint64_t atomics_total_ = 0;
+    std::uint64_t atomics_offloaded_ = 0;
+    std::uint64_t atomics_on_core_ = 0;
+    std::uint64_t sp_local_ = 0;
+    std::uint64_t sp_remote_ = 0;
+    std::uint64_t vtxprop_accesses_ = 0;
+    std::uint64_t vtxprop_hot_accesses_ = 0;
+    std::vector<std::uint64_t> sparse_append_count_;
+};
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_OMEGA_MACHINE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * PISC implementation.
+ */
+
+#include "omega/pisc.hh"
+
+#include <algorithm>
+
+namespace omega {
+
+void
+Pisc::loadMicrocode(std::uint16_t program_id, Cycles program_cycles,
+                    Cycles initiation)
+{
+    program_id_ = program_id;
+    program_cycles_ = std::max<Cycles>(program_cycles, 1);
+    initiation_ = initiation == 0 ? program_cycles_
+                                  : std::min(initiation, program_cycles_);
+}
+
+Cycles
+Pisc::execute(Cycles start)
+{
+    // Serialize behind any in-flight initiation on this engine.
+    const Cycles actual_start = std::max(start, busy_until_);
+    queue_cycles_ += actual_start - start;
+    busy_until_ = actual_start + initiation_;
+    last_completion_ = actual_start + program_cycles_;
+    ++ops_;
+    busy_cycles_ += initiation_;
+    return last_completion_;
+}
+
+void
+Pisc::extendBusy(Cycles extra)
+{
+    busy_until_ += extra;
+    last_completion_ = std::max(last_completion_, busy_until_);
+    busy_cycles_ += extra;
+}
+
+void
+Pisc::reset()
+{
+    busy_until_ = 0;
+    last_completion_ = 0;
+    ops_ = 0;
+    busy_cycles_ = 0;
+    queue_cycles_ = 0;
+}
+
+} // namespace omega

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Scratchpad model implementation.
+ */
+
+#include "omega/scratchpad.hh"
+
+#include "util/logging.hh"
+
+namespace omega {
+
+Scratchpad::Scratchpad(std::uint64_t capacity_bytes, Cycles latency)
+    : capacity_(capacity_bytes), latency_(latency)
+{
+}
+
+VertexId
+Scratchpad::setLineBytes(std::uint32_t line_bytes)
+{
+    omega_assert(line_bytes > 0, "scratchpad line size must be positive");
+    line_bytes_ = line_bytes;
+    num_lines_ = static_cast<VertexId>(capacity_ / line_bytes_);
+    return num_lines_;
+}
+
+void
+Scratchpad::reset()
+{
+    reads_ = writes_ = atomics_ = bytes_read_ = bytes_written_ = 0;
+}
+
+} // namespace omega

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Scratchpad controller implementation.
+ */
+
+#include "omega/scratchpad_controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+ScratchpadController::ScratchpadController(unsigned num_scratchpads,
+                                           unsigned chunk_size)
+    : num_scratchpads_(num_scratchpads), chunk_size_(chunk_size)
+{
+    omega_assert(num_scratchpads_ > 0, "need at least one scratchpad");
+    omega_assert(chunk_size_ > 0, "chunk size must be positive");
+}
+
+void
+ScratchpadController::configure(std::vector<PropSpec> props,
+                                VertexId resident_vertices)
+{
+    props_ = std::move(props);
+    resident_ = resident_vertices;
+    vertex_busy_until_.clear();
+    conflicts_ = 0;
+}
+
+std::optional<SpRoute>
+ScratchpadController::route(std::uint64_t addr) const
+{
+    for (std::uint32_t i = 0; i < props_.size(); ++i) {
+        const PropSpec &p = props_[i];
+        if (addr < p.start_addr)
+            continue;
+        const std::uint64_t offset = addr - p.start_addr;
+        const std::uint64_t vertex = offset / p.stride;
+        if (vertex >= p.count)
+            continue;
+        if (offset % p.stride >= p.type_size)
+            continue; // between entries of a strided struct
+        if (vertex >= resident_)
+            return std::nullopt; // monitored but not scratchpad-resident
+        SpRoute r;
+        r.vertex = static_cast<VertexId>(vertex);
+        r.prop = i;
+        r.home = homeOf(r.vertex);
+        r.line = lineOf(r.vertex);
+        return r;
+    }
+    return std::nullopt;
+}
+
+VertexId
+ScratchpadController::lineOf(VertexId vertex) const
+{
+    const VertexId super_chunk = chunk_size_ * num_scratchpads_;
+    return (vertex / super_chunk) * chunk_size_ + vertex % chunk_size_;
+}
+
+Cycles
+ScratchpadController::beginAtomic(VertexId vertex, Cycles arrival,
+                                  Cycles duration)
+{
+    Cycles start = arrival;
+    auto it = vertex_busy_until_.find(vertex);
+    if (it != vertex_busy_until_.end() && it->second > arrival) {
+        ++conflicts_;
+        start = it->second;
+    }
+    vertex_busy_until_[vertex] = start + duration;
+    return start;
+}
+
+bool
+ScratchpadController::isVertexBusy(VertexId vertex, Cycles now) const
+{
+    auto it = vertex_busy_until_.find(vertex);
+    return it != vertex_busy_until_.end() && it->second > now;
+}
+
+void
+ScratchpadController::reset()
+{
+    vertex_busy_until_.clear();
+    conflicts_ = 0;
+}
+
+} // namespace omega

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Scratchpad controller (paper Fig 7).
+ *
+ * The controller filters every request through the address-monitoring
+ * registers (monitor unit): one {start_addr, type_size, stride} triple per
+ * vtxProp, written by the framework's configuration code at application
+ * start. A matching request is translated to a vertex id; the partition
+ * unit decides which scratchpad (local or remote) is the vertex's home
+ * using the chunked interleaving of section V.D; the index unit yields the
+ * line within that scratchpad. The controller also blocks requests to a
+ * vertex whose atomic update is still in flight on the home PISC.
+ */
+
+#ifndef OMEGA_OMEGA_SCRATCHPAD_CONTROLLER_HH
+#define OMEGA_OMEGA_SCRATCHPAD_CONTROLLER_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hh"
+#include "sim/memory_system.hh"
+#include "sim/params.hh"
+
+namespace omega {
+
+/** Result of the monitor unit: which vertex/prop an address refers to. */
+struct SpRoute
+{
+    VertexId vertex = 0;
+    /** Index into the configured PropSpec list. */
+    std::uint32_t prop = 0;
+    /** Scratchpad (core) the vertex is homed on. */
+    unsigned home = 0;
+    /** Line index inside the home scratchpad. */
+    VertexId line = 0;
+};
+
+/** Address filtering, partitioning and same-vertex atomic blocking. */
+class ScratchpadController
+{
+  public:
+    /**
+     * @param num_scratchpads one per core.
+     * @param chunk_size interleaving chunk (matched to the scheduler's
+     *        OpenMP-style chunk to keep sequential sweeps local).
+     */
+    ScratchpadController(unsigned num_scratchpads, unsigned chunk_size);
+
+    /**
+     * Install the monitor registers for a run.
+     *
+     * @param props vtxProp ranges.
+     * @param resident_vertices vertices 0..resident-1 live in scratchpads.
+     */
+    void configure(std::vector<PropSpec> props, VertexId resident_vertices);
+
+    /**
+     * Monitor unit: route @p addr. Returns nullopt if the address is not
+     * in a monitored range or the vertex is not scratchpad-resident
+     * (such requests fall through to the regular caches).
+     */
+    std::optional<SpRoute> route(std::uint64_t addr) const;
+
+    /** Partition unit: home scratchpad of a resident vertex. */
+    unsigned homeOf(VertexId vertex) const
+    {
+        return static_cast<unsigned>((vertex / chunk_size_) %
+                                     num_scratchpads_);
+    }
+
+    /** Index unit: line index of @p vertex within its home scratchpad. */
+    VertexId lineOf(VertexId vertex) const;
+
+    /** True if the vertex's vtxProp is mapped to scratchpads. */
+    bool isResident(VertexId vertex) const
+    {
+        return vertex < resident_;
+    }
+
+    VertexId residentVertices() const { return resident_; }
+    unsigned chunkSize() const { return chunk_size_; }
+    const std::vector<PropSpec> &props() const { return props_; }
+
+    /** @name Same-vertex atomic blocking (paper section V.A). @{ */
+    /**
+     * Mark an atomic on @p vertex busy until @p until; returns the time
+     * the new request may start (after any in-flight one on the vertex).
+     */
+    Cycles beginAtomic(VertexId vertex, Cycles arrival, Cycles duration);
+    /** True if a request at @p now would hit a vertex mid-atomic. */
+    bool isVertexBusy(VertexId vertex, Cycles now) const;
+    /** Conflicts observed (requests that had to wait). */
+    std::uint64_t conflicts() const { return conflicts_; }
+    /** Clear the busy table and counters (between runs). */
+    void reset();
+    /** @} */
+
+  private:
+    unsigned num_scratchpads_;
+    unsigned chunk_size_;
+    std::vector<PropSpec> props_;
+    VertexId resident_ = 0;
+    std::unordered_map<VertexId, Cycles> vertex_busy_until_;
+    std::uint64_t conflicts_ = 0;
+};
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_SCRATCHPAD_CONTROLLER_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Source-vertex buffer implementation.
+ */
+
+#include "omega/source_vertex_buffer.hh"
+
+namespace omega {
+
+SourceVertexBuffer::SourceVertexBuffer(unsigned entries)
+    : slots_(entries)
+{
+}
+
+bool
+SourceVertexBuffer::lookupAndFill(VertexId vertex, std::uint32_t prop)
+{
+    if (slots_.empty()) {
+        ++misses_;
+        return false;
+    }
+    Slot *victim = &slots_[0];
+    for (auto &slot : slots_) {
+        if (slot.valid && slot.vertex == vertex && slot.prop == prop) {
+            slot.lru = ++lru_clock_;
+            ++hits_;
+            return true;
+        }
+        if (!slot.valid) {
+            victim = &slot;
+        } else if (victim->valid && slot.lru < victim->lru) {
+            victim = &slot;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->vertex = vertex;
+    victim->prop = prop;
+    victim->lru = ++lru_clock_;
+    return false;
+}
+
+bool
+SourceVertexBuffer::contains(VertexId vertex, std::uint32_t prop) const
+{
+    for (const auto &slot : slots_) {
+        if (slot.valid && slot.vertex == vertex && slot.prop == prop)
+            return true;
+    }
+    return false;
+}
+
+void
+SourceVertexBuffer::invalidateAll()
+{
+    for (auto &slot : slots_)
+        slot.valid = false;
+}
+
+void
+SourceVertexBuffer::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace omega

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Memory access descriptors exchanged between the framework runtime and a
+ * memory system (baseline CMP or OMEGA).
+ */
+
+#ifndef OMEGA_SIM_ACCESS_HH
+#define OMEGA_SIM_ACCESS_HH
+
+#include <cstdint>
+
+#include "graph/types.hh"
+#include "sim/params.hh"
+
+namespace omega {
+
+/** Simulated virtual-address-space layout (one region per structure). */
+namespace addr_space {
+
+/** edgeList region: CSR offsets + neighbor/weight arrays. */
+constexpr std::uint64_t kEdgeBase = 0x1'0000'0000ull;
+/** vtxProp region: framework-registered per-vertex property arrays. */
+constexpr std::uint64_t kPropBase = 0x2'0000'0000ull;
+/** active-list region: sparse frontier arrays. */
+constexpr std::uint64_t kActiveBase = 0x3'0000'0000ull;
+/** nGraphData region: counters, temporaries, reduction scratch. */
+constexpr std::uint64_t kOtherBase = 0x4'0000'0000ull;
+
+} // namespace addr_space
+
+/** Kind of memory operation. */
+enum class MemOp : std::uint8_t { Load, Store };
+
+/** Data-structure class of an access (drives stats and routing checks). */
+enum class AccessClass : std::uint8_t
+{
+    VertexProp,
+    EdgeList,
+    ActiveList,
+    NGraphData,
+};
+
+/** One core-issued load or store. */
+struct MemAccess
+{
+    unsigned core = 0;
+    MemOp op = MemOp::Load;
+    std::uint64_t addr = 0;
+    std::uint32_t size = 8;
+    AccessClass cls = AccessClass::NGraphData;
+    /**
+     * Blocking accesses stall the core until data returns (address or
+     * control dependence on the value); non-blocking ones only occupy an
+     * MSHR slot and overlap.
+     */
+    bool blocking = false;
+    /**
+     * Part of a sequential stream (edgeList scan, active-list sweep,
+     * frontier array). The machines model a next-line stream prefetcher:
+     * the data movement and bandwidth are charged in full, but the
+     * core-visible latency of a prefetched stream miss is capped at the
+     * on-chip (L2) latency.
+     */
+    bool sequential = false;
+    /** Vertex id for VertexProp accesses (used by the scratchpad path). */
+    VertexId vertex = 0;
+};
+
+/**
+ * An atomic read-modify-write on a destination vertex's properties.
+ *
+ * On the baseline this is executed by the core (blocking, through the
+ * cache hierarchy, line locked). On OMEGA, if the address falls in a
+ * monitored vtxProp range the request is offloaded to the home
+ * scratchpad's PISC (fire-and-forget from the core's perspective).
+ */
+struct AtomicRequest
+{
+    unsigned core = 0;
+    /** Destination vertex (home-scratchpad selector). */
+    VertexId vertex = 0;
+    /** Address of the first vtxProp word touched. */
+    std::uint64_t addr = 0;
+    /** Total vtxProp bytes read-modified-written. */
+    std::uint32_t size = 8;
+    /** Microcode program id (translate layer); sets PISC occupancy. */
+    std::uint16_t program = 0;
+    /** Operand payload bytes shipped with the request (<= 8). */
+    std::uint8_t operand_bytes = 8;
+    /** The update activated the vertex in a dense active-list. */
+    bool activates_dense = false;
+    /** The update appended the vertex to a sparse active-list. */
+    bool activates_sparse = false;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SIM_ACCESS_HH

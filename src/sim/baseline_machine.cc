@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Baseline machine implementation.
+ */
+
+#include "sim/baseline_machine.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+BaselineMachine::BaselineMachine(const MachineParams &params)
+    : params_(params), hierarchy_(params)
+{
+    cores_.reserve(params.num_cores);
+    for (unsigned c = 0; c < params.num_cores; ++c)
+        cores_.emplace_back(params);
+    sparse_append_count_.assign(params.num_cores, 0);
+}
+
+void
+BaselineMachine::configure(const MachineConfig &config)
+{
+    config_ = config;
+}
+
+void
+BaselineMachine::compute(unsigned core, std::uint64_t ops)
+{
+    cores_[core].compute(ops);
+}
+
+void
+BaselineMachine::countVertexAccess(VertexId vertex)
+{
+    ++vtxprop_accesses_;
+    if (vertex < config_.hot_boundary)
+        ++vtxprop_hot_accesses_;
+}
+
+void
+BaselineMachine::memAccess(const MemAccess &access)
+{
+    CoreModel &core = cores_[access.core];
+    if (access.cls == AccessClass::VertexProp)
+        countVertexAccess(access.vertex);
+    if (!access.blocking)
+        core.prepareIssue();
+    const bool prefetched =
+        access.sequential && params_.stream_prefetch;
+    const Cycles lat =
+        hierarchy_.access(access.core, access.addr,
+                          access.op == MemOp::Store, core.now(),
+                          prefetched);
+    core.issueMemory(lat, access.blocking);
+}
+
+void
+BaselineMachine::readSrcProp(unsigned core, VertexId vertex,
+                             std::uint64_t addr, std::uint32_t size)
+{
+    MemAccess a;
+    a.core = core;
+    a.op = MemOp::Load;
+    a.addr = addr;
+    a.size = size;
+    a.cls = AccessClass::VertexProp;
+    a.vertex = vertex;
+    a.blocking = false;
+    memAccess(a);
+}
+
+void
+BaselineMachine::atomicUpdate(const AtomicRequest &request)
+{
+    CoreModel &core = cores_[request.core];
+    ++atomics_total_;
+    countVertexAccess(request.vertex);
+
+    // Acquire the destination line in Modified state.
+    core.prepareIssue(params_.atomics_as_plain ? StallKind::Memory
+                                               : StallKind::Atomic);
+    const Cycles lat = hierarchy_.access(request.core, request.addr,
+                                         /*write=*/true, core.now());
+    if (params_.atomics_as_plain) {
+        // Ablation: the same data movement, but no locked execution.
+        core.issueMemory(lat, /*blocking=*/false);
+        core.compute(2);
+    } else {
+        core.issueMemory(lat, /*blocking=*/false, StallKind::Atomic);
+        core.serialize(params_.atomic_serialize, StallKind::Atomic);
+    }
+
+    // Active-list maintenance runs on the core (paper section V.B: on the
+    // baseline there is no PISC to offload it to).
+    if (request.activates_dense) {
+        MemAccess a;
+        a.core = request.core;
+        a.op = MemOp::Store;
+        a.addr = config_.dense_active_base + request.vertex;
+        a.size = 1;
+        a.cls = AccessClass::ActiveList;
+        a.blocking = false;
+        memAccess(a);
+    }
+    if (request.activates_sparse) {
+        // fetch_add on the shared tail counter, then the append store.
+        core.prepareIssue(params_.atomics_as_plain ? StallKind::Memory
+                                                   : StallKind::Atomic);
+        const Cycles clat = hierarchy_.access(
+            request.core, config_.sparse_counter_addr, true, core.now());
+        if (params_.atomics_as_plain) {
+            core.issueMemory(clat, false);
+        } else {
+            core.issueMemory(clat, false, StallKind::Atomic);
+            core.serialize(params_.atomic_serialize, StallKind::Atomic);
+        }
+        MemAccess a;
+        a.core = request.core;
+        a.op = MemOp::Store;
+        a.addr = config_.sparse_active_base +
+                 4 * (sparse_append_count_[request.core]++ *
+                          params_.num_cores +
+                      request.core);
+        a.size = 4;
+        a.cls = AccessClass::ActiveList;
+        a.blocking = false;
+        memAccess(a);
+    }
+}
+
+void
+BaselineMachine::barrier()
+{
+    Cycles t = global_cycles_;
+    for (auto &core : cores_) {
+        core.drain();
+        t = std::max(t, core.now());
+    }
+    for (auto &core : cores_)
+        core.syncTo(t);
+    global_cycles_ = t;
+}
+
+void
+BaselineMachine::endIteration()
+{
+    // Nothing to invalidate on the baseline.
+}
+
+Cycles
+BaselineMachine::coreNow(unsigned core) const
+{
+    return cores_[core].now();
+}
+
+Cycles
+BaselineMachine::cycles() const
+{
+    return global_cycles_;
+}
+
+StatsReport
+BaselineMachine::report() const
+{
+    StatsReport r;
+    r.cycles = global_cycles_;
+    hierarchy_.collect(r);
+    for (const auto &core : cores_) {
+        r.instructions += core.instructions();
+        r.compute_cycles += core.computeCycles();
+        r.mem_stall_cycles += core.memStallCycles();
+        r.atomic_stall_cycles += core.atomicStallCycles();
+        r.sync_stall_cycles += core.syncStallCycles();
+    }
+    r.atomics_total = atomics_total_;
+    r.atomics_on_core = atomics_total_;
+    r.vtxprop_accesses = vtxprop_accesses_;
+    r.vtxprop_hot_accesses = vtxprop_hot_accesses_;
+    return r;
+}
+
+} // namespace omega

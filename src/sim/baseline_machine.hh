@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Baseline CMP: conventional MESI cache hierarchy, atomics on the cores.
+ */
+
+#ifndef OMEGA_SIM_BASELINE_MACHINE_HH
+#define OMEGA_SIM_BASELINE_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/coherence.hh"
+#include "sim/core_model.hh"
+#include "sim/memory_system.hh"
+
+namespace omega {
+
+/**
+ * The paper's Table-III baseline: 16 OoO cores, private L1s, shared 32 MB
+ * L2, crossbar, 4-channel DDR3. All graph data flows through the caches;
+ * atomic updates execute on the issuing core with the line locked.
+ */
+class BaselineMachine : public MemorySystem
+{
+  public:
+    explicit BaselineMachine(const MachineParams &params);
+
+    void configure(const MachineConfig &config) override;
+    void compute(unsigned core, std::uint64_t ops) override;
+    void memAccess(const MemAccess &access) override;
+    void readSrcProp(unsigned core, VertexId vertex, std::uint64_t addr,
+                     std::uint32_t size) override;
+    void atomicUpdate(const AtomicRequest &request) override;
+    void barrier() override;
+    void endIteration() override;
+    Cycles coreNow(unsigned core) const override;
+    Cycles cycles() const override;
+    StatsReport report() const override;
+    const MachineParams &params() const override { return params_; }
+    std::string name() const override { return "baseline"; }
+
+  private:
+    void countVertexAccess(VertexId vertex);
+
+    MachineParams params_;
+    MachineConfig config_;
+    CacheHierarchy hierarchy_;
+    std::vector<CoreModel> cores_;
+    Cycles global_cycles_ = 0;
+
+    std::uint64_t atomics_total_ = 0;
+    std::uint64_t vtxprop_accesses_ = 0;
+    std::uint64_t vtxprop_hot_accesses_ = 0;
+    /** Sparse active-list appends per core (address generation). */
+    std::vector<std::uint64_t> sparse_append_count_;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SIM_BASELINE_MACHINE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cache array implementation.
+ */
+
+#include "sim/cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+CacheArray::CacheArray(std::uint64_t size_bytes, unsigned ways,
+                       unsigned line_bytes)
+    : line_bytes_(line_bytes), ways_(ways)
+{
+    omega_assert(line_bytes_ > 0 && (line_bytes_ & (line_bytes_ - 1)) == 0,
+                 "line size must be a power of two");
+    omega_assert(ways_ > 0, "need at least one way");
+    const std::uint64_t lines = std::max<std::uint64_t>(
+        size_bytes / line_bytes_, ways_);
+    sets_ = std::max<std::uint64_t>(lines / ways_, 1);
+    lines_.assign(sets_ * ways_, CacheLine{});
+}
+
+CacheLine *
+CacheArray::probe(std::uint64_t addr)
+{
+    const std::uint64_t tag = addr / line_bytes_;
+    CacheLine *set = &lines_[setOf(addr) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].state != LineState::Invalid && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::probe(std::uint64_t addr) const
+{
+    return const_cast<CacheArray *>(this)->probe(addr);
+}
+
+CacheAccessResult
+CacheArray::access(std::uint64_t addr)
+{
+    const std::uint64_t tag = addr / line_bytes_;
+    CacheLine *set = &lines_[setOf(addr) * ways_];
+    CacheAccessResult res;
+
+    CacheLine *victim = &set[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        CacheLine &line = set[w];
+        if (line.state != LineState::Invalid && line.tag == tag) {
+            line.lru = ++lru_clock_;
+            res.hit = true;
+            res.line = &line;
+            return res;
+        }
+        if (line.state == LineState::Invalid) {
+            victim = &line;
+        } else if (victim->state != LineState::Invalid &&
+                   line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    if (victim->state != LineState::Invalid) {
+        res.evicted = true;
+        res.victim_addr = victim->tag * line_bytes_;
+        res.victim = *victim;
+    }
+    *victim = CacheLine{};
+    victim->tag = tag;
+    victim->lru = ++lru_clock_;
+    victim->state = LineState::Invalid; // caller decides the final state
+    res.line = victim;
+    return res;
+}
+
+void
+CacheArray::invalidate(std::uint64_t addr)
+{
+    if (CacheLine *line = probe(addr))
+        *line = CacheLine{};
+}
+
+void
+CacheArray::flush()
+{
+    std::fill(lines_.begin(), lines_.end(), CacheLine{});
+}
+
+} // namespace omega

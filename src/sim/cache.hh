@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Set-associative cache array with MESI-capable line metadata.
+ *
+ * One CacheArray class serves both roles in the hierarchy:
+ *  - private L1s track per-line MESI state;
+ *  - the shared, inclusive L2 additionally uses each line's sharer vector
+ *    and owner field as the coherence directory.
+ */
+
+#ifndef OMEGA_SIM_CACHE_HH
+#define OMEGA_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/params.hh"
+
+namespace omega {
+
+/** MESI line states (Invalid means the way is free). */
+enum class LineState : std::uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/** One cache line's metadata. */
+struct CacheLine
+{
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    LineState state = LineState::Invalid;
+    /** Directory info (L2 role): bitmask of L1s holding the line. */
+    std::uint16_t sharers = 0;
+    /** Directory info: L1 that holds the line Modified (valid if dirty_l1). */
+    std::uint8_t owner = 0;
+    /** Directory info: some L1 holds the line Modified. */
+    bool dirty_l1 = false;
+    /** The L2 copy is dirty with respect to DRAM. */
+    bool dirty = false;
+};
+
+/** Outcome of an allocating access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** Line after the access (allocated on miss); never null. */
+    CacheLine *line = nullptr;
+    /** A valid victim was evicted to make room. */
+    bool evicted = false;
+    /** Line-aligned address of the victim. */
+    std::uint64_t victim_addr = 0;
+    /** Victim metadata snapshot (state/sharers/dirty at eviction). */
+    CacheLine victim;
+};
+
+/**
+ * Physically-indexed set-associative array with true-LRU replacement.
+ *
+ * The array stores only metadata; data movement is accounted by the
+ * hierarchy that owns it.
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity.
+     * @param ways associativity (clamped so there is at least one set).
+     * @param line_bytes line size.
+     */
+    CacheArray(std::uint64_t size_bytes, unsigned ways, unsigned line_bytes);
+
+    /** Line-aligned address of @p addr. */
+    std::uint64_t lineAddr(std::uint64_t addr) const
+    {
+        return addr & ~static_cast<std::uint64_t>(line_bytes_ - 1);
+    }
+
+    /** Look up without allocating or touching LRU; null if absent. */
+    CacheLine *probe(std::uint64_t addr);
+    const CacheLine *probe(std::uint64_t addr) const;
+
+    /**
+     * Access with allocation: on a miss the LRU way is evicted (its
+     * snapshot is returned) and the line is (re)tagged with
+     * state Invalid — the caller sets the final state. LRU is updated.
+     */
+    CacheAccessResult access(std::uint64_t addr);
+
+    /** Drop a line if present (back-invalidation). */
+    void invalidate(std::uint64_t addr);
+
+    unsigned lineBytes() const { return line_bytes_; }
+    std::uint64_t numSets() const { return sets_; }
+    unsigned numWays() const { return ways_; }
+    std::uint64_t sizeBytes() const
+    {
+        return sets_ * ways_ * line_bytes_;
+    }
+
+    /** Invalidate everything. */
+    void flush();
+
+  private:
+    std::uint64_t setOf(std::uint64_t addr) const
+    {
+        return (addr / line_bytes_) % sets_;
+    }
+
+    unsigned line_bytes_;
+    unsigned ways_;
+    std::uint64_t sets_;
+    std::uint64_t lru_clock_ = 0;
+    std::vector<CacheLine> lines_;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SIM_CACHE_HH

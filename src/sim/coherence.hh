@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Two-level MESI cache hierarchy with an inclusive-L2 directory.
+ *
+ * Private L1 data caches back onto a shared L2 whose line metadata doubles
+ * as the coherence directory (sharer vector + modified-owner). The protocol
+ * models the transactions that matter for the paper's accounting:
+ *
+ *  - load miss with remote Modified copy -> dirty forward (3-hop);
+ *  - store hit on a Shared line -> upgrade + invalidations;
+ *  - store miss -> exclusive fetch with invalidations;
+ *  - L1 eviction of Modified data -> writeback to L2;
+ *  - L2 eviction -> back-invalidation of L1 copies + DRAM writeback.
+ *
+ * Transactions complete atomically in the event model (no transient
+ * states); latency and traffic are charged per hop through the crossbar
+ * and the DRAM queue model.
+ */
+
+#ifndef OMEGA_SIM_COHERENCE_HH
+#define OMEGA_SIM_COHERENCE_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/crossbar.hh"
+#include "sim/dram.hh"
+#include "sim/params.hh"
+#include "sim/stats_report.hh"
+
+namespace omega {
+
+/** Shared two-level hierarchy used by both the baseline and OMEGA. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const MachineParams &params);
+
+    /**
+     * Perform one access and return its latency.
+     *
+     * @param core issuing core.
+     * @param addr byte address.
+     * @param write true for stores (and the acquisition part of atomics).
+     * @param now absolute issue time (drives DRAM queueing).
+     * @param sequential stream access: an L2-miss is served by the
+     *        stream prefetcher (DRAM base latency hidden, bandwidth
+     *        still charged).
+     */
+    Cycles access(unsigned core, std::uint64_t addr, bool write, Cycles now,
+                  bool sequential = false);
+
+    /** Crossbar (shared with the scratchpad network on OMEGA). */
+    Crossbar &xbar() { return *xbar_; }
+    const Crossbar &xbar() const { return *xbar_; }
+    Dram &dram() { return *dram_; }
+    const Dram &dram() const { return *dram_; }
+
+    /** Copy hierarchy counters into @p out. */
+    void collect(StatsReport &out) const;
+
+    /** Invalidate all caches (between runs). */
+    void flushAll();
+
+    const MachineParams &params() const { return params_; }
+
+  private:
+    /** Clear @p victim's presence in the L1s it is registered in. */
+    void backInvalidate(const CacheLine &victim, std::uint64_t victim_addr);
+
+    MachineParams params_;
+    std::vector<CacheArray> l1_;
+    CacheArray l2_;
+    std::unique_ptr<Crossbar> xbar_;
+    std::unique_ptr<Dram> dram_;
+
+    std::uint64_t l1_accesses_ = 0;
+    std::uint64_t l1_hits_ = 0;
+    std::uint64_t l2_accesses_ = 0;
+    std::uint64_t l2_hits_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::uint64_t upgrades_ = 0;
+    std::uint64_t invalidations_ = 0;
+    std::uint64_t dirty_forwards_ = 0;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SIM_COHERENCE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Core timing model implementation.
+ */
+
+#include "sim/core_model.hh"
+
+#include <algorithm>
+
+namespace omega {
+
+CoreModel::CoreModel(const MachineParams &params)
+    : issue_width_(params.issue_width), mshrs_(params.mshrs)
+{
+}
+
+void
+CoreModel::compute(std::uint64_t ops)
+{
+    instructions_ += ops;
+    op_residue_ += ops;
+    const std::uint64_t cycles = op_residue_ / issue_width_;
+    op_residue_ %= issue_width_;
+    clock_ += cycles;
+    compute_cycles_ += cycles;
+}
+
+void
+CoreModel::stallUntil(Cycles t, StallKind kind)
+{
+    if (t <= clock_)
+        return;
+    const Cycles stall = t - clock_;
+    clock_ = t;
+    switch (kind) {
+      case StallKind::Memory:
+        mem_stall_cycles_ += stall;
+        break;
+      case StallKind::Atomic:
+        atomic_stall_cycles_ += stall;
+        break;
+      case StallKind::Sync:
+        sync_stall_cycles_ += stall;
+        break;
+    }
+}
+
+void
+CoreModel::prepareIssue(StallKind kind)
+{
+    if (inflight_.size() >= mshrs_) {
+        // Window full: wait for the oldest outstanding miss.
+        stallUntil(inflight_.top(), kind);
+        while (!inflight_.empty() && inflight_.top() <= clock_)
+            inflight_.pop();
+    }
+}
+
+void
+CoreModel::issueMemory(Cycles latency, bool blocking, StallKind kind)
+{
+    if (blocking) {
+        stallUntil(clock_ + latency, kind);
+        return;
+    }
+    prepareIssue(kind);
+    if (latency > 1)
+        inflight_.push(clock_ + latency);
+}
+
+void
+CoreModel::serialize(Cycles cost, StallKind kind)
+{
+    stallUntil(clock_ + cost, kind);
+}
+
+void
+CoreModel::drain()
+{
+    while (!inflight_.empty()) {
+        const Cycles top = inflight_.top();
+        inflight_.pop();
+        stallUntil(top, StallKind::Memory);
+    }
+}
+
+void
+CoreModel::syncTo(Cycles t)
+{
+    drain();
+    stallUntil(t, StallKind::Sync);
+}
+
+void
+CoreModel::reset()
+{
+    clock_ = 0;
+    op_residue_ = 0;
+    while (!inflight_.empty())
+        inflight_.pop();
+    instructions_ = 0;
+    compute_cycles_ = 0;
+    mem_stall_cycles_ = 0;
+    atomic_stall_cycles_ = 0;
+    sync_stall_cycles_ = 0;
+}
+
+} // namespace omega

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-core timing model.
+ *
+ * Each logical core carries its own cycle clock. Instruction-equivalents
+ * advance the clock by 1/issue_width each. Memory operations either block
+ * (the value feeds control flow or the paper's blocking-atomic semantics)
+ * or enter an overlap window bounded by the MSHR count — the OoO engine's
+ * ability to keep ~mshrs independent misses in flight across loop
+ * iterations. When the window is full the core stalls until the oldest
+ * miss completes. Stall cycles are attributed to memory / atomic / sync
+ * buckets for the Fig-3 TMAM-style breakdown.
+ */
+
+#ifndef OMEGA_SIM_CORE_MODEL_HH
+#define OMEGA_SIM_CORE_MODEL_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/params.hh"
+
+namespace omega {
+
+/** Stall attribution buckets. */
+enum class StallKind : std::uint8_t { Memory, Atomic, Sync };
+
+/** One logical core's clock and cycle accounting. */
+class CoreModel
+{
+  public:
+    explicit CoreModel(const MachineParams &params);
+
+    /** Current local time. */
+    Cycles now() const { return clock_; }
+
+    /** Retire @p ops instruction-equivalents. */
+    void compute(std::uint64_t ops);
+
+    /** Occupy the pipeline for @p cycles of useful (non-stall) work. */
+    void busy(Cycles cycles)
+    {
+        clock_ += cycles;
+        compute_cycles_ += cycles;
+    }
+
+    /**
+     * Reserve an issue slot for an upcoming non-blocking memory
+     * operation: if the overlap window is full, stall until the oldest
+     * outstanding miss completes. Call BEFORE probing the memory system
+     * so shared resources (DRAM queues) see the post-stall issue time.
+     */
+    void prepareIssue(StallKind kind = StallKind::Memory);
+
+    /**
+     * Issue a memory operation whose hierarchy latency is @p latency.
+     *
+     * @param latency cycles until data returns.
+     * @param blocking stall the core until completion.
+     * @param kind stall bucket charged for any stall incurred.
+     */
+    void issueMemory(Cycles latency, bool blocking,
+                     StallKind kind = StallKind::Memory);
+
+    /** Charge a fixed pipeline-hold cost (atomic serialization). */
+    void serialize(Cycles cost, StallKind kind = StallKind::Atomic);
+
+    /** Wait for all outstanding operations to complete. */
+    void drain();
+
+    /** Barrier: jump forward to @p t, charging sync stall. */
+    void syncTo(Cycles t);
+
+    std::uint64_t instructions() const { return instructions_; }
+    std::uint64_t computeCycles() const { return compute_cycles_; }
+    std::uint64_t memStallCycles() const { return mem_stall_cycles_; }
+    std::uint64_t atomicStallCycles() const
+    {
+        return atomic_stall_cycles_;
+    }
+    std::uint64_t syncStallCycles() const { return sync_stall_cycles_; }
+
+    void reset();
+
+  private:
+    void stallUntil(Cycles t, StallKind kind);
+
+    unsigned issue_width_;
+    unsigned mshrs_;
+    Cycles clock_ = 0;
+    /** Fractional instruction residue (sub-cycle issue accounting). */
+    std::uint64_t op_residue_ = 0;
+    std::priority_queue<Cycles, std::vector<Cycles>, std::greater<>>
+        inflight_;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t compute_cycles_ = 0;
+    std::uint64_t mem_stall_cycles_ = 0;
+    std::uint64_t atomic_stall_cycles_ = 0;
+    std::uint64_t sync_stall_cycles_ = 0;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SIM_CORE_MODEL_HH

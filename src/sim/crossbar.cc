@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Crossbar accounting implementation.
+ */
+
+#include "sim/crossbar.hh"
+
+namespace omega {
+
+Crossbar::Crossbar(const MachineParams &params)
+    : one_way_(params.xbar_latency),
+      flit_bytes_(params.xbar_flit_bytes),
+      header_bytes_(params.xbar_header_bytes)
+{
+}
+
+void
+Crossbar::recordTransfer(std::uint32_t payload_bytes)
+{
+    const std::uint32_t total = payload_bytes + header_bytes_;
+    ++packets_;
+    bytes_ += total;
+    flits_ += (total + flit_bytes_ - 1) / flit_bytes_;
+}
+
+void
+Crossbar::recordControl()
+{
+    ++packets_;
+    bytes_ += header_bytes_;
+    ++flits_;
+}
+
+void
+Crossbar::reset()
+{
+    bytes_ = flits_ = packets_ = 0;
+}
+
+} // namespace omega

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Abstract memory-system interface the framework runtime drives.
+ *
+ * Two implementations exist: BaselineMachine (conventional MESI cache
+ * hierarchy) and OmegaMachine (hybrid cache + scratchpad with PISC
+ * engines). The framework is machine-agnostic: it registers its vtxProp
+ * layout (the paper's address-monitoring-register configuration), then
+ * emits compute, load/store, source-prop-read and atomic-update events;
+ * each machine interprets them with its own timing and routing.
+ */
+
+#ifndef OMEGA_SIM_MEMORY_SYSTEM_HH
+#define OMEGA_SIM_MEMORY_SYSTEM_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/types.hh"
+#include "sim/access.hh"
+#include "sim/params.hh"
+#include "sim/stats_report.hh"
+
+namespace omega {
+
+/**
+ * One vtxProp range, as written into the scratchpad controller's
+ * address-monitoring registers (paper Fig 7): base address, primitive
+ * size, stride between consecutive vertices' entries.
+ */
+struct PropSpec
+{
+    std::uint64_t start_addr = 0;
+    std::uint32_t type_size = 8;
+    std::uint32_t stride = 8;
+    VertexId count = 0;
+};
+
+/**
+ * Per-run machine configuration produced by the framework/translation
+ * layer: monitored vtxProp ranges, active-list placement, and the PISC
+ * microcode program for the algorithm's atomic update.
+ */
+struct MachineConfig
+{
+    VertexId num_vertices = 0;
+    std::vector<PropSpec> props;
+    /** Dense active-list bitmap base (1 byte per vertex). */
+    std::uint64_t dense_active_base = 0;
+    /** Sparse active-list array base (4 bytes per appended id). */
+    std::uint64_t sparse_active_base = 0;
+    /** Shared sparse-list tail counter address. */
+    std::uint64_t sparse_counter_addr = 0;
+    /** Microcode program id (translate layer). */
+    std::uint16_t microcode_program = 0;
+    /** End-to-end latency of one atomic update on a PISC. */
+    Cycles microcode_cycles = 4;
+    /** Engine occupancy per atomic (pipelined sequencer). */
+    Cycles microcode_initiation = 2;
+    /** Vertices with id < hot_boundary count as "hot" in the stats. */
+    VertexId hot_boundary = 0;
+};
+
+/** Abstract machine. All methods are single-threaded. */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /** Install the run configuration (monitor registers + microcode). */
+    virtual void configure(const MachineConfig &config) = 0;
+
+    /** Retire @p ops instruction-equivalents on @p core. */
+    virtual void compute(unsigned core, std::uint64_t ops) = 0;
+
+    /** Issue a load or store. */
+    virtual void memAccess(const MemAccess &access) = 0;
+
+    /**
+     * Read a source vertex's vtxProp (paper section V.C). OMEGA consults
+     * the core's source-vertex buffer; the baseline treats it as a load.
+     */
+    virtual void readSrcProp(unsigned core, VertexId vertex,
+                             std::uint64_t addr, std::uint32_t size) = 0;
+
+    /** Execute/offload an atomic vtxProp update. */
+    virtual void atomicUpdate(const AtomicRequest &request) = 0;
+
+    /** Join all cores (end of a parallel-for). */
+    virtual void barrier() = 0;
+
+    /** End of an algorithm iteration (invalidates source-vertex buffers). */
+    virtual void endIteration() = 0;
+
+    /** Local clock of @p core (engine scheduling + contention order). */
+    virtual Cycles coreNow(unsigned core) const = 0;
+
+    /** Global completed time (valid after barrier()). */
+    virtual Cycles cycles() const = 0;
+
+    /** Snapshot all counters. */
+    virtual StatsReport report() const = 0;
+
+    virtual const MachineParams &params() const = 0;
+    virtual std::string name() const = 0;
+};
+
+} // namespace omega
+
+#endif // OMEGA_SIM_MEMORY_SYSTEM_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine parameter factories.
+ */
+
+#include "sim/params.hh"
+
+#include <algorithm>
+
+namespace omega {
+
+MachineParams
+MachineParams::baseline()
+{
+    MachineParams p;
+    p.l2.size_bytes = 32ull * 1024 * 1024; // 2 MB x 16 cores, shared
+    p.sp_total_bytes = 0;
+    p.pisc_enabled = false;
+    p.svb_entries = 0;
+    return p;
+}
+
+MachineParams
+MachineParams::omega()
+{
+    MachineParams p;
+    p.l2.size_bytes = 16ull * 1024 * 1024; // 1 MB x 16 cores
+    p.sp_total_bytes = 16ull * 1024 * 1024; // 1 MB x 16 cores
+    p.pisc_enabled = true;
+    p.svb_entries = 16;
+    return p;
+}
+
+MachineParams
+MachineParams::omegaScratchpadOnly()
+{
+    MachineParams p = omega();
+    p.pisc_enabled = false;
+    return p;
+}
+
+MachineParams
+MachineParams::scaledCapacities(double factor) const
+{
+    MachineParams p = *this;
+    auto scale = [factor](std::uint64_t bytes, std::uint64_t floor_bytes) {
+        auto scaled = static_cast<std::uint64_t>(
+            static_cast<double>(bytes) * factor);
+        scaled = std::max(scaled, floor_bytes);
+        // Round to a whole number of 64 B lines.
+        return (scaled + 63) / 64 * 64;
+    };
+    p.l1d.size_bytes = scale(l1d.size_bytes, 1024);
+    p.l2.size_bytes = scale(l2.size_bytes, 16 * 1024);
+    if (sp_total_bytes > 0)
+        p.sp_total_bytes = scale(sp_total_bytes, 8 * 1024);
+    return p;
+}
+
+} // namespace omega

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * StatsReport derived-metric implementations.
+ */
+
+#include "sim/stats_report.hh"
+
+#include <string>
+
+namespace omega {
+
+namespace {
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+} // namespace
+
+double
+StatsReport::l1HitRate() const
+{
+    return ratio(l1_hits, l1_accesses);
+}
+
+double
+StatsReport::l2HitRate() const
+{
+    return ratio(l2_hits, l2_accesses);
+}
+
+double
+StatsReport::lastLevelHitRate() const
+{
+    // Scratchpad accesses always hit (the mapped vtxProp range lives there
+    // for the whole run); the combined "last-level storage" rate counts
+    // them together with L2 hits over all last-level lookups (Fig 15).
+    return ratio(l2_hits + sp_accesses, l2_accesses + sp_accesses);
+}
+
+double
+StatsReport::dramBandwidthGBs(double clock_ghz) const
+{
+    if (cycles == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(cycles) / (clock_ghz * 1e9);
+    return static_cast<double>(dramBytes()) / 1e9 / seconds;
+}
+
+double
+StatsReport::dramBandwidthUtilization(const MachineParams &params) const
+{
+    const double peak =
+        params.dram_gbs_per_channel * params.dram_channels;
+    return peak > 0.0 ? dramBandwidthGBs(params.clock_ghz) / peak : 0.0;
+}
+
+double
+StatsReport::memoryBoundFraction() const
+{
+    const std::uint64_t total = compute_cycles + mem_stall_cycles +
+                                atomic_stall_cycles + sync_stall_cycles;
+    return ratio(mem_stall_cycles + atomic_stall_cycles, total);
+}
+
+double
+StatsReport::hotVertexAccessFraction() const
+{
+    return ratio(vtxprop_hot_accesses, vtxprop_accesses);
+}
+
+void
+StatsReport::accumulate(const StatsReport &other)
+{
+    instructions += other.instructions;
+    l1_accesses += other.l1_accesses;
+    l1_hits += other.l1_hits;
+    l2_accesses += other.l2_accesses;
+    l2_hits += other.l2_hits;
+    writebacks += other.writebacks;
+    upgrades += other.upgrades;
+    invalidations += other.invalidations;
+    dirty_forwards += other.dirty_forwards;
+    sp_accesses += other.sp_accesses;
+    sp_local += other.sp_local;
+    sp_remote += other.sp_remote;
+    svb_hits += other.svb_hits;
+    svb_misses += other.svb_misses;
+    pisc_ops += other.pisc_ops;
+    pisc_busy_cycles += other.pisc_busy_cycles;
+    pisc_blocked_conflicts += other.pisc_blocked_conflicts;
+    atomics_total += other.atomics_total;
+    atomics_offloaded += other.atomics_offloaded;
+    atomics_on_core += other.atomics_on_core;
+    onchip_bytes += other.onchip_bytes;
+    onchip_flits += other.onchip_flits;
+    onchip_packets += other.onchip_packets;
+    dram_reads += other.dram_reads;
+    dram_writes += other.dram_writes;
+    dram_read_bytes += other.dram_read_bytes;
+    dram_write_bytes += other.dram_write_bytes;
+    dram_queue_cycles += other.dram_queue_cycles;
+    compute_cycles += other.compute_cycles;
+    mem_stall_cycles += other.mem_stall_cycles;
+    atomic_stall_cycles += other.atomic_stall_cycles;
+    sync_stall_cycles += other.sync_stall_cycles;
+    vtxprop_accesses += other.vtxprop_accesses;
+    vtxprop_hot_accesses += other.vtxprop_hot_accesses;
+}
+
+void
+StatsReport::dump(std::ostream &os, const std::string &prefix) const
+{
+    auto line = [&os, &prefix](const char *name, std::uint64_t v) {
+        os << prefix << "." << name << " " << v << "\n";
+    };
+    line("cycles", cycles);
+    line("instructions", instructions);
+    line("l1_accesses", l1_accesses);
+    line("l1_hits", l1_hits);
+    line("l2_accesses", l2_accesses);
+    line("l2_hits", l2_hits);
+    line("writebacks", writebacks);
+    line("upgrades", upgrades);
+    line("invalidations", invalidations);
+    line("dirty_forwards", dirty_forwards);
+    line("sp_accesses", sp_accesses);
+    line("sp_local", sp_local);
+    line("sp_remote", sp_remote);
+    line("svb_hits", svb_hits);
+    line("svb_misses", svb_misses);
+    line("pisc_ops", pisc_ops);
+    line("pisc_busy_cycles", pisc_busy_cycles);
+    line("pisc_blocked_conflicts", pisc_blocked_conflicts);
+    line("atomics_total", atomics_total);
+    line("atomics_offloaded", atomics_offloaded);
+    line("atomics_on_core", atomics_on_core);
+    line("onchip_bytes", onchip_bytes);
+    line("onchip_flits", onchip_flits);
+    line("onchip_packets", onchip_packets);
+    line("dram_reads", dram_reads);
+    line("dram_writes", dram_writes);
+    line("dram_read_bytes", dram_read_bytes);
+    line("dram_write_bytes", dram_write_bytes);
+    line("dram_queue_cycles", dram_queue_cycles);
+    line("compute_cycles", compute_cycles);
+    line("mem_stall_cycles", mem_stall_cycles);
+    line("atomic_stall_cycles", atomic_stall_cycles);
+    line("sync_stall_cycles", sync_stall_cycles);
+    line("vtxprop_accesses", vtxprop_accesses);
+    line("vtxprop_hot_accesses", vtxprop_hot_accesses);
+}
+
+} // namespace omega

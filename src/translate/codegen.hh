@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Configuration/offload code generation (paper Figs 10 & 13).
+ *
+ * Renders the two artifacts the paper's source-to-source tool produces:
+ *
+ *  1. configuration code — the store sequence that writes OMEGA's
+ *     memory-mapped registers at application start: the microcode, the
+ *     atomic op type, and per-vtxProp {start address, entry size, stride,
+ *     vertex count};
+ *  2. the translated "update" function — a sequence of stores to
+ *     memory-mapped registers that ships the operand and destination id
+ *     to the PISC (Fig 13).
+ *
+ * The output is C-like text (what a user would paste into their
+ * framework); it is also exercised by tests as the specification of the
+ * configuration the simulator machines receive via MachineConfig.
+ */
+
+#ifndef OMEGA_TRANSLATE_CODEGEN_HH
+#define OMEGA_TRANSLATE_CODEGEN_HH
+
+#include <string>
+
+#include "sim/memory_system.hh"
+#include "translate/microcode_compiler.hh"
+#include "translate/update_fn.hh"
+
+namespace omega {
+
+/** Render the application-start configuration code. */
+std::string generateConfigCode(const MachineConfig &config,
+                               const UpdateFn &fn);
+
+/** Render the translated update function (Fig 13 analogue). */
+std::string generateOffloadCode(const UpdateFn &fn);
+
+/**
+ * Build the MachineConfig for a run: packs the prop layout and the
+ * compiled microcode (this is what the generated configuration code
+ * writes into the hardware registers).
+ *
+ * @param num_vertices graph size.
+ * @param props vtxProp layout from the framework's property registry.
+ * @param fn the algorithm's update function.
+ * @param dense_active_base / sparse bases: active-list placement.
+ * @param hot_boundary stats boundary (top-20% vertex count).
+ */
+MachineConfig buildMachineConfig(VertexId num_vertices,
+                                 std::vector<PropSpec> props,
+                                 const UpdateFn &fn,
+                                 std::uint64_t dense_active_base,
+                                 std::uint64_t sparse_active_base,
+                                 std::uint64_t sparse_counter_addr,
+                                 VertexId hot_boundary);
+
+} // namespace omega
+
+#endif // OMEGA_TRANSLATE_CODEGEN_HH

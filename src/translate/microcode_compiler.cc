@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Microcode compiler implementation.
+ */
+
+#include "translate/microcode_compiler.hh"
+
+#include "util/logging.hh"
+
+namespace omega {
+
+namespace {
+
+MicroOp
+aluMicroOp(PiscAluOp op)
+{
+    switch (op) {
+      case PiscAluOp::FpAdd: return MicroOp::AluFpAdd;
+      case PiscAluOp::UnsignedComp: return MicroOp::AluUComp;
+      case PiscAluOp::SignedMin: return MicroOp::AluSMin;
+      case PiscAluOp::SignedAdd: return MicroOp::AluSAdd;
+      case PiscAluOp::BitOr: return MicroOp::AluBitOr;
+      case PiscAluOp::BoolComp: return MicroOp::AluBoolComp;
+    }
+    panic("unknown ALU op");
+}
+
+} // namespace
+
+std::string
+microOpName(MicroOp op)
+{
+    switch (op) {
+      case MicroOp::ReadLine: return "read_line";
+      case MicroOp::AluFpAdd: return "alu.fadd";
+      case MicroOp::AluUComp: return "alu.ucomp";
+      case MicroOp::AluSMin: return "alu.smin";
+      case MicroOp::AluSAdd: return "alu.sadd";
+      case MicroOp::AluBitOr: return "alu.or";
+      case MicroOp::AluBoolComp: return "alu.bcomp";
+      case MicroOp::CondSkip: return "cond_skip";
+      case MicroOp::WriteProp: return "write_prop";
+      case MicroOp::SetActive: return "set_active";
+      case MicroOp::AppendSparse: return "append_sparse";
+      case MicroOp::Done: return "done";
+    }
+    return "?";
+}
+
+PiscProgram
+compileUpdateFn(const UpdateFn &fn, std::uint16_t id)
+{
+    omega_assert(!fn.steps.empty(), "update function has no steps");
+    PiscProgram prog;
+    prog.id = id;
+    prog.name = fn.name;
+
+    // One line read serves every step: the scratchpad line holds all of
+    // the vertex's vtxProp entries (section V.A).
+    prog.code.push_back(MicroOp::ReadLine);
+    for (const UpdateStep &step : fn.steps) {
+        prog.code.push_back(aluMicroOp(step.op));
+        if (step.conditional_write)
+            prog.code.push_back(MicroOp::CondSkip);
+        prog.code.push_back(MicroOp::WriteProp);
+    }
+    if (fn.sets_dense_active)
+        prog.code.push_back(MicroOp::SetActive);
+    if (fn.sets_sparse_active)
+        prog.code.push_back(MicroOp::AppendSparse);
+    prog.code.push_back(MicroOp::Done);
+    return prog;
+}
+
+std::string
+disassemble(const PiscProgram &program)
+{
+    std::string out;
+    out += "; program " + std::to_string(program.id) + ": " +
+           program.name + "\n";
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        out += std::to_string(i) + ": " + microOpName(program.code[i]) +
+               "\n";
+    }
+    return out;
+}
+
+} // namespace omega

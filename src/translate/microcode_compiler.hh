@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Microcode compiler: UpdateFn -> PISC program.
+ *
+ * Lowers an update-function descriptor into the micro-op sequence the
+ * PISC sequencer executes (paper Fig 9): read the vtxProp line from the
+ * scratchpad, run the ALU steps, conditionally write back, maintain the
+ * active list. One micro-op costs one sequencer cycle end to end; the
+ * pipelined sequencer initiates a new atomic every initiationInterval()
+ * cycles.
+ */
+
+#ifndef OMEGA_TRANSLATE_MICROCODE_COMPILER_HH
+#define OMEGA_TRANSLATE_MICROCODE_COMPILER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/params.hh"
+#include "translate/update_fn.hh"
+
+namespace omega {
+
+/** PISC micro-operations. */
+enum class MicroOp : std::uint8_t
+{
+    ReadLine,     ///< scratchpad line -> operand latches
+    AluFpAdd,
+    AluUComp,
+    AluSMin,
+    AluSAdd,
+    AluBitOr,
+    AluBoolComp,
+    CondSkip,     ///< skip the next write if the ALU found no improvement
+    WriteProp,    ///< latch -> scratchpad entry
+    SetActive,    ///< set the dense active bit in the line
+    AppendSparse, ///< emit the vertex id to the sparse list via the L1
+    Done,
+};
+
+/** A compiled PISC program. */
+struct PiscProgram
+{
+    std::uint16_t id = 0;
+    std::string name;
+    std::vector<MicroOp> code;
+
+    /** End-to-end latency of one execution (one cycle per micro-op,
+     *  Done is free). */
+    Cycles cycles() const
+    {
+        return code.empty() ? 1 : static_cast<Cycles>(code.size()) - 1;
+    }
+
+    /**
+     * Occupancy of the engine per execution: the sequencer pipelines the
+     * read / ALU / write stages, so back-to-back atomics are initiated
+     * every ~cycles()/3 cycles (minimum 2).
+     */
+    Cycles initiationInterval() const
+    {
+        const Cycles lat = cycles();
+        return std::max<Cycles>(2, (lat + 2) / 3);
+    }
+};
+
+/** Mnemonic for one micro-op. */
+std::string microOpName(MicroOp op);
+
+/**
+ * Compile @p fn into a PISC program.
+ *
+ * @param fn the annotated update function.
+ * @param id program identifier to assign.
+ */
+PiscProgram compileUpdateFn(const UpdateFn &fn, std::uint16_t id = 0);
+
+/** Disassemble a program, one mnemonic per line. */
+std::string disassemble(const PiscProgram &program);
+
+} // namespace omega
+
+#endif // OMEGA_TRANSLATE_MICROCODE_COMPILER_HH

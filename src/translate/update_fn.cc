@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Update-function helpers.
+ */
+
+#include "translate/update_fn.hh"
+
+namespace omega {
+
+std::string
+piscAluOpName(PiscAluOp op)
+{
+    switch (op) {
+      case PiscAluOp::FpAdd: return "fp add";
+      case PiscAluOp::UnsignedComp: return "unsigned comp.";
+      case PiscAluOp::SignedMin: return "signed min";
+      case PiscAluOp::SignedAdd: return "signed add";
+      case PiscAluOp::BitOr: return "or";
+      case PiscAluOp::BoolComp: return "bool comp.";
+    }
+    return "?";
+}
+
+} // namespace omega

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Update-function descriptors (paper section V.F).
+ *
+ * The paper's source-to-source translation tool parses a pre-annotated
+ * "update" function in the graph framework (e.g. Fig 10's SSSP update)
+ * and generates (i) PISC microcode and (ii) configuration code writing
+ * OMEGA's memory-mapped registers. Here the annotated function is a small
+ * structured descriptor: the sequence of read-modify-write steps the
+ * atomic update performs on the destination vertex's vtxProp entries.
+ * Each algorithm supplies its descriptor; the microcode compiler lowers
+ * it to a PiscProgram and the codegen module renders the equivalent
+ * store-sequence code of Fig 13.
+ */
+
+#ifndef OMEGA_TRANSLATE_UPDATE_FN_HH
+#define OMEGA_TRANSLATE_UPDATE_FN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "omega/pisc.hh"
+
+namespace omega {
+
+/** Where the ALU's second operand comes from. */
+enum class UpdateOperand : std::uint8_t
+{
+    /** Shipped with the offload packet (e.g. src rank contribution). */
+    Incoming,
+    /** Another vtxProp entry of the destination vertex. */
+    DstProp,
+    /** Compile-time constant baked into the microcode. */
+    Constant,
+};
+
+/** One read-modify-write step of an update function. */
+struct UpdateStep
+{
+    PiscAluOp op = PiscAluOp::SignedAdd;
+    /** Index of the destination vtxProp entry read-modified-written. */
+    std::uint8_t dst_prop = 0;
+    UpdateOperand operand = UpdateOperand::Incoming;
+    /**
+     * Write back only if the ALU result "improved" the stored value
+     * (min updates, compare-and-set); unconditional otherwise.
+     */
+    bool conditional_write = false;
+};
+
+/** The annotated update function of one algorithm. */
+struct UpdateFn
+{
+    std::string name;
+    std::vector<UpdateStep> steps;
+    /** A successful update sets the vertex's dense active bit. */
+    bool sets_dense_active = false;
+    /** A successful update appends the vertex to the sparse list. */
+    bool sets_sparse_active = false;
+    /** The update consumes the source vertex's vtxProp (section V.C). */
+    bool reads_src_prop = false;
+    /** Operand payload size shipped in the offload packet. */
+    std::uint8_t operand_bytes = 8;
+};
+
+/** Human-readable name of an ALU op (Table II's "atomic operation type"). */
+std::string piscAluOpName(PiscAluOp op);
+
+} // namespace omega
+
+#endif // OMEGA_TRANSLATE_UPDATE_FN_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "util/logging.hh"
+
+namespace omega {
+
+namespace {
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::cerr << levelTag(level) << ": " << msg << "\n";
+}
+
+void
+logFatal(LogLevel level, const std::string &where, const std::string &msg)
+{
+    std::cerr << levelTag(level) << ": " << msg;
+    if (!where.empty())
+        std::cerr << " (" << where << ")";
+    std::cerr << std::endl;
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace omega

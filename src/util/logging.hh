@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 style.
+ *
+ * fatal() is for user errors (bad configuration, impossible parameters) and
+ * exits with status 1; panic() is for internal invariant violations and
+ * aborts. inform()/warn() print status without stopping the run.
+ */
+
+#ifndef OMEGA_UTIL_LOGGING_HH
+#define OMEGA_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace omega {
+
+/** Severity classes understood by logMessage(). */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+/**
+ * Print a formatted log line to stderr.
+ *
+ * @param level severity class; Fatal/Panic also terminate the process.
+ * @param where source location string, usually FILE:LINE.
+ * @param msg the message body.
+ */
+[[noreturn]] void logFatal(LogLevel level, const std::string &where,
+                           const std::string &msg);
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Args>
+void
+formatInto(std::ostringstream &os, const T &v, const Args &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Informational message; normal operating status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logMessage(LogLevel::Info, detail::formatAll(args...));
+}
+
+/** Something might be off, but the run can continue. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logMessage(LogLevel::Warn, detail::formatAll(args...));
+}
+
+/** User-caused error: print and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    logFatal(LogLevel::Fatal, "", detail::formatAll(args...));
+}
+
+/** Internal invariant violation: print and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    logFatal(LogLevel::Panic, "", detail::formatAll(args...));
+}
+
+/** panic() unless the condition holds. */
+#define omega_assert(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::omega::panic("assertion failed: ", #cond, " at ", __FILE__,    \
+                           ":", __LINE__, " ",                               \
+                           ::omega::detail::formatAll(__VA_ARGS__));         \
+        }                                                                    \
+    } while (0)
+
+} // namespace omega
+
+#endif // OMEGA_UTIL_LOGGING_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Statistics package implementation.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    omega_assert(hi > lo && buckets > 0, "bad histogram range");
+    width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void
+Histogram::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    if (buckets_.empty())
+        return;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        ++buckets_[idx];
+    }
+}
+
+double
+Histogram::quantile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(p * count_);
+    std::uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return lo_ + width_ * (static_cast<double>(i) + 0.5);
+    }
+    return hi_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *c,
+                      const std::string &desc)
+{
+    entries_[name] = Entry{Entry::Kind::CounterK, c, desc};
+}
+
+void
+StatGroup::addScalar(const std::string &name, const double *v,
+                     const std::string &desc)
+{
+    entries_[name] = Entry{Entry::Kind::ScalarD, v, desc};
+}
+
+void
+StatGroup::addScalar(const std::string &name, const std::uint64_t *v,
+                     const std::string &desc)
+{
+    entries_[name] = Entry{Entry::Kind::ScalarU, v, desc};
+}
+
+void
+StatGroup::addHistogram(const std::string &name, const Histogram *h,
+                        const std::string &desc)
+{
+    entries_[name] = Entry{Entry::Kind::HistogramK, h, desc};
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+double
+StatGroup::entryValue(const Entry &e) const
+{
+    switch (e.kind) {
+      case Entry::Kind::CounterK:
+        return static_cast<double>(
+            static_cast<const Counter *>(e.ptr)->value());
+      case Entry::Kind::ScalarD:
+        return *static_cast<const double *>(e.ptr);
+      case Entry::Kind::ScalarU:
+        return static_cast<double>(
+            *static_cast<const std::uint64_t *>(e.ptr));
+      case Entry::Kind::HistogramK:
+        return static_cast<const Histogram *>(e.ptr)->mean();
+    }
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &[name, e] : entries_) {
+        os << std::left << std::setw(48) << (full + "." + name)
+           << std::right << std::setw(18);
+        const double v = entryValue(e);
+        if (std::floor(v) == v && std::abs(v) < 1e15)
+            os << static_cast<long long>(v);
+        else
+            os << std::setprecision(6) << v;
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os, full);
+}
+
+double
+StatGroup::lookup(const std::string &dotted_path) const
+{
+    const auto dot = dotted_path.find('.');
+    if (dot == std::string::npos) {
+        auto it = entries_.find(dotted_path);
+        if (it == entries_.end())
+            return std::numeric_limits<double>::quiet_NaN();
+        return entryValue(it->second);
+    }
+    const std::string head = dotted_path.substr(0, dot);
+    const std::string rest = dotted_path.substr(dot + 1);
+    for (const auto *child : children_) {
+        if (child->name() == head)
+            return child->lookup(rest);
+    }
+    // Entries may themselves contain dots? They do not; report missing.
+    auto it = entries_.find(dotted_path);
+    if (it != entries_.end())
+        return entryValue(it->second);
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+} // namespace omega

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named Counter / Scalar / Histogram objects in a
+ * StatGroup. Groups nest, and dump() renders the whole tree in a
+ * gem5-stats-like "name  value  # description" format. Values are plain
+ * doubles/uint64s — this is an accounting layer, not a sampling profiler.
+ */
+
+#ifndef OMEGA_UTIL_STATS_HH
+#define OMEGA_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Fixed-bucket histogram over a [lo, hi) range with linear buckets. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /**
+     * Configure the bucketing.
+     *
+     * @param lo inclusive lower bound of the tracked range.
+     * @param hi exclusive upper bound; samples >= hi land in the overflow.
+     * @param buckets number of equal-width buckets.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t bucketCount(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Approximate p-quantile (0..1) from bucket midpoints. */
+    double quantile(double p) const;
+
+    void reset();
+
+  private:
+    double lo_ = 0.0;
+    double hi_ = 1.0;
+    double width_ = 1.0;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of statistics.
+ *
+ * Components own their counters directly (for speed) and register pointers
+ * here for reporting. The group does not own registered objects; their
+ * lifetime must cover the group's dump calls.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter under this group. */
+    void addCounter(const std::string &name, const Counter *c,
+                    const std::string &desc = "");
+    /** Register an externally-maintained scalar. */
+    void addScalar(const std::string &name, const double *v,
+                   const std::string &desc = "");
+    void addScalar(const std::string &name, const std::uint64_t *v,
+                   const std::string &desc = "");
+    /** Register a histogram (mean/min/max are reported). */
+    void addHistogram(const std::string &name, const Histogram *h,
+                      const std::string &desc = "");
+    /** Attach a child group. */
+    void addChild(StatGroup *child);
+
+    const std::string &name() const { return name_; }
+
+    /** Render the tree as "group.stat  value  # desc" lines. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Look up a registered value by dotted path; returns NaN if missing. */
+    double lookup(const std::string &dotted_path) const;
+
+  private:
+    struct Entry
+    {
+        enum class Kind { CounterK, ScalarD, ScalarU, HistogramK } kind;
+        const void *ptr;
+        std::string desc;
+    };
+
+    double entryValue(const Entry &e) const;
+
+    std::string name_;
+    std::map<std::string, Entry> entries_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace omega
+
+#endif // OMEGA_UTIL_STATS_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small string helpers shared across the library and tools.
+ */
+
+#ifndef OMEGA_UTIL_STRING_UTILS_HH
+#define OMEGA_UTIL_STRING_UTILS_HH
+
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case ASCII copy. */
+std::string toLower(const std::string &s);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 const std::string &sep);
+
+} // namespace omega
+
+#endif // OMEGA_UTIL_STRING_UTILS_HH

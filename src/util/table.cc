@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Table rendering implementation.
+ */
+
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    omega_assert(!headers_.empty(), "table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &v)
+{
+    omega_assert(!rows_.empty(), "call row() before cell()");
+    omega_assert(rows_.back().size() < headers_.size(),
+                 "row has more cells than headers");
+    rows_.back().push_back(v);
+    return *this;
+}
+
+Table &
+Table::cell(const char *v)
+{
+    return cell(std::string(v));
+}
+
+Table &
+Table::cell(double v, int decimals)
+{
+    return cell(formatDouble(v, decimals));
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(int v)
+{
+    return cell(std::to_string(v));
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    return rows_.at(row).at(col);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &v = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << v;
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &r : rows_)
+        print_row(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find(',') == std::string::npos &&
+            s.find('"') == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << quote(cells[c]);
+        }
+        os << "\n";
+    };
+    print_row(headers_);
+    for (const auto &r : rows_)
+        print_row(r);
+}
+
+std::string
+formatDouble(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+formatSpeedup(double v)
+{
+    return formatDouble(v, 2) + "x";
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double v = static_cast<double>(bytes);
+    std::size_t u = 0;
+    while (v >= 1024.0 && u < 4) {
+        v /= 1024.0;
+        ++u;
+    }
+    std::ostringstream os;
+    if (v == static_cast<std::uint64_t>(v))
+        os << static_cast<std::uint64_t>(v) << units[u];
+    else
+        os << std::fixed << std::setprecision(1) << v << units[u];
+    return os.str();
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n\n";
+}
+
+} // namespace omega

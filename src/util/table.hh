@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fixed-width ASCII table and CSV rendering.
+ *
+ * Every bench binary reproduces a paper table or figure by printing rows;
+ * Table centralizes the formatting so all outputs look alike and can also
+ * be exported as CSV for plotting.
+ */
+
+#ifndef OMEGA_UTIL_TABLE_HH
+#define OMEGA_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/**
+ * Simple row/column table with a header row.
+ *
+ * Cells are strings; numeric helpers format doubles with a fixed number of
+ * decimals. Column widths auto-fit on render.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    Table &row();
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &v);
+    Table &cell(const char *v);
+    /** Append a formatted numeric cell. */
+    Table &cell(double v, int decimals = 2);
+    Table &cell(std::uint64_t v);
+    Table &cell(int v);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+    /** Raw access to a finished cell (for tests). */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream &os) const;
+    /** Render as CSV (RFC-ish; commas in cells are quoted). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals decimal places. */
+std::string formatDouble(double v, int decimals);
+
+/** Format as "1.23x" speedup notation. */
+std::string formatSpeedup(double v);
+
+/** Format a fraction as a percentage string, e.g. 0.42 -> "42.0%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Human-readable byte size (B/KB/MB/GB, power of two). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Print a section banner used by the bench binaries. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace omega
+
+#endif // OMEGA_UTIL_TABLE_HH

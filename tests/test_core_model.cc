@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the per-core timing model: issue-width accounting, the
+ * MSHR-bounded overlap window, blocking semantics and stall attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_model.hh"
+
+namespace omega {
+namespace {
+
+MachineParams
+params(unsigned width = 8, unsigned mshrs = 4)
+{
+    MachineParams p = MachineParams::baseline();
+    p.issue_width = width;
+    p.mshrs = mshrs;
+    return p;
+}
+
+TEST(CoreModel, ComputeAdvancesByIssueWidth)
+{
+    CoreModel c(params(8));
+    c.compute(16);
+    EXPECT_EQ(c.now(), 2u);
+    EXPECT_EQ(c.instructions(), 16u);
+    EXPECT_EQ(c.computeCycles(), 2u);
+}
+
+TEST(CoreModel, SubWidthOpsAccumulate)
+{
+    CoreModel c(params(8));
+    for (int i = 0; i < 8; ++i)
+        c.compute(1);
+    EXPECT_EQ(c.now(), 1u);
+    c.compute(4);
+    EXPECT_EQ(c.now(), 1u); // residue of 4 ops, below a full cycle
+    c.compute(4);
+    EXPECT_EQ(c.now(), 2u);
+}
+
+TEST(CoreModel, BlockingLoadStallsFully)
+{
+    CoreModel c(params());
+    c.issueMemory(100, /*blocking=*/true);
+    EXPECT_EQ(c.now(), 100u);
+    EXPECT_EQ(c.memStallCycles(), 100u);
+}
+
+TEST(CoreModel, NonBlockingLoadsOverlap)
+{
+    CoreModel c(params(8, 4));
+    for (int i = 0; i < 4; ++i)
+        c.issueMemory(100, false);
+    // All four in flight: no stall yet.
+    EXPECT_EQ(c.now(), 0u);
+    EXPECT_EQ(c.memStallCycles(), 0u);
+}
+
+TEST(CoreModel, WindowFullStallsToOldest)
+{
+    CoreModel c(params(8, 2));
+    c.issueMemory(100, false);
+    c.issueMemory(100, false);
+    c.issueMemory(100, false); // window full: waits for the first (t=100)
+    EXPECT_EQ(c.now(), 100u);
+    EXPECT_EQ(c.memStallCycles(), 100u);
+}
+
+TEST(CoreModel, DrainWaitsForAllOutstanding)
+{
+    CoreModel c(params(8, 4));
+    c.issueMemory(50, false);
+    c.issueMemory(200, false);
+    c.drain();
+    EXPECT_EQ(c.now(), 200u);
+}
+
+TEST(CoreModel, SerializeChargesAtomicBucket)
+{
+    CoreModel c(params());
+    c.serialize(16);
+    EXPECT_EQ(c.now(), 16u);
+    EXPECT_EQ(c.atomicStallCycles(), 16u);
+    EXPECT_EQ(c.memStallCycles(), 0u);
+}
+
+TEST(CoreModel, StallAttributionByKind)
+{
+    CoreModel c(params());
+    c.issueMemory(10, true, StallKind::Atomic);
+    EXPECT_EQ(c.atomicStallCycles(), 10u);
+    c.issueMemory(10, true, StallKind::Memory);
+    EXPECT_EQ(c.memStallCycles(), 10u);
+}
+
+TEST(CoreModel, SyncToChargesSyncStall)
+{
+    CoreModel c(params());
+    c.compute(8);
+    c.syncTo(50);
+    EXPECT_EQ(c.now(), 50u);
+    EXPECT_EQ(c.syncStallCycles(), 49u);
+    // syncTo to the past is a no-op.
+    c.syncTo(10);
+    EXPECT_EQ(c.now(), 50u);
+}
+
+TEST(CoreModel, SyncToDrainsFirst)
+{
+    CoreModel c(params(8, 4));
+    c.issueMemory(100, false);
+    c.syncTo(20); // outstanding load completes at 100 > 20
+    EXPECT_EQ(c.now(), 100u);
+}
+
+TEST(CoreModel, BusyCountsAsCompute)
+{
+    CoreModel c(params());
+    c.busy(7);
+    EXPECT_EQ(c.now(), 7u);
+    EXPECT_EQ(c.computeCycles(), 7u);
+    EXPECT_EQ(c.instructions(), 0u);
+}
+
+TEST(CoreModel, ShortOpsDontOccupyWindow)
+{
+    // Latency-1 hits never enter the window, so they can't cause
+    // window-full stalls.
+    CoreModel c(params(8, 1));
+    for (int i = 0; i < 100; ++i)
+        c.issueMemory(1, false);
+    EXPECT_EQ(c.memStallCycles(), 0u);
+}
+
+TEST(CoreModel, ResetRestoresInitialState)
+{
+    CoreModel c(params());
+    c.compute(80);
+    c.issueMemory(100, true);
+    c.reset();
+    EXPECT_EQ(c.now(), 0u);
+    EXPECT_EQ(c.instructions(), 0u);
+    EXPECT_EQ(c.memStallCycles(), 0u);
+    EXPECT_EQ(c.computeCycles(), 0u);
+}
+
+TEST(CoreModel, ThroughputMatchesMlpModel)
+{
+    // With window K and latency L, N independent misses take about
+    // N*L/K cycles once the pipe is full.
+    CoreModel c(params(8, 8));
+    const int N = 1000;
+    for (int i = 0; i < N; ++i)
+        c.issueMemory(80, false);
+    c.drain();
+    const double expected = N * 80.0 / 8.0;
+    EXPECT_NEAR(static_cast<double>(c.now()), expected, expected * 0.05);
+}
+
+} // namespace
+} // namespace omega

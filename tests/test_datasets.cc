@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the Table-I dataset stand-in registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/datasets.hh"
+#include "graph/degree_stats.hh"
+#include "graph/reorder.hh"
+
+namespace omega {
+namespace {
+
+TEST(Datasets, RegistryHasTwelveEntries)
+{
+    EXPECT_EQ(allDatasets().size(), 12u);
+    std::set<std::string> names;
+    for (const auto &s : allDatasets())
+        EXPECT_TRUE(names.insert(s.name).second) << s.name;
+}
+
+TEST(Datasets, LookupIsCaseInsensitive)
+{
+    EXPECT_TRUE(findDataset("lj").has_value());
+    EXPECT_TRUE(findDataset("LJ").has_value());
+    EXPECT_TRUE(findDataset("rmat").has_value());
+    EXPECT_FALSE(findDataset("nope").has_value());
+}
+
+TEST(Datasets, SimulationSetExcludesGiants)
+{
+    const auto sims = simulationDatasets();
+    EXPECT_EQ(sims.size(), 10u);
+    for (const auto &s : sims) {
+        EXPECT_NE(s.name, "uk");
+        EXPECT_NE(s.name, "twitter");
+    }
+}
+
+TEST(Datasets, BuildIsSeedDeterministic)
+{
+    const auto spec = *findDataset("sd");
+    Graph a = buildDataset(spec, 42);
+    Graph b = buildDataset(spec, 42);
+    Graph c = buildDataset(spec, 43);
+    EXPECT_EQ(a.numArcs(), b.numArcs());
+    EXPECT_EQ(a.outNeighbors(0).size(), b.outNeighbors(0).size());
+    // A different seed should change at least the arc count or structure.
+    bool differs = a.numArcs() != c.numArcs();
+    for (VertexId v = 0; !differs && v < a.numVertices(); ++v)
+        differs = a.outDegree(v) != c.outDegree(v);
+    EXPECT_TRUE(differs);
+}
+
+TEST(Datasets, CapacityScalesAreSane)
+{
+    for (const auto &s : allDatasets()) {
+        EXPECT_GT(s.capacity_scale, 1.0 / 512.0) << s.name;
+        EXPECT_LT(s.capacity_scale, 1.0 / 8.0) << s.name;
+    }
+}
+
+/** Parameterized over the small/medium stand-ins: the classification and
+ *  direction columns of Table I must be reproduced. */
+class DatasetShapeTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DatasetShapeTest, MatchesPaperCharacterization)
+{
+    const auto spec = *findDataset(GetParam());
+    Graph g = reorderGraph(buildDataset(spec),
+                           ReorderKind::InDegreeNthElement);
+    ASSERT_TRUE(g.validate());
+    const DegreeStats s = computeDegreeStats(g);
+
+    EXPECT_EQ(s.symmetric, !spec.directed) << spec.name;
+    EXPECT_EQ(s.power_law, spec.paper_power_law) << spec.name;
+    // Connectivity should land within 15 percentage points of Table I.
+    EXPECT_NEAR(100.0 * s.in_degree_connectivity, spec.paper_in_conn_pct,
+                15.0)
+        << spec.name;
+    // The edge/vertex ratio tracks the paper's within 2.5x (dedup and
+    // symmetrization shift it for the steepest graphs).
+    const double paper_ratio = spec.paper_edges_m / spec.paper_vertices_m;
+    const double ours = static_cast<double>(g.numEdges()) /
+                        static_cast<double>(g.numVertices());
+    EXPECT_GT(ours, paper_ratio / 2.5) << spec.name;
+    EXPECT_LT(ours, paper_ratio * 2.5) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndMedium, DatasetShapeTest,
+                         ::testing::Values("sd", "ap", "rPA", "rCA"));
+
+TEST(Datasets, RoadMeshesAreSymmetric)
+{
+    Graph g = buildDataset("rPA");
+    EXPECT_TRUE(g.symmetric());
+    // Every arc has its reverse.
+    for (VertexId v = 0; v < std::min<VertexId>(g.numVertices(), 500);
+         ++v) {
+        for (VertexId d : g.outNeighbors(v)) {
+            const auto back = g.outNeighbors(d);
+            EXPECT_TRUE(std::find(back.begin(), back.end(), v) !=
+                        back.end());
+        }
+    }
+}
+
+TEST(Datasets, UnknownNameIsFatalFree)
+{
+    // findDataset is the non-fatal lookup; it must not abort.
+    EXPECT_FALSE(findDataset("doesnotexist").has_value());
+}
+
+} // namespace
+} // namespace omega

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the dynamic-graph support (paper section IX).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hh"
+#include "graph/dynamic.hh"
+#include "graph/generators.hh"
+#include "graph/reorder.hh"
+#include "util/rng.hh"
+
+namespace omega {
+namespace {
+
+DynamicGraph
+smallDynamic()
+{
+    EdgeList arcs{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}};
+    return DynamicGraph(4, std::move(arcs));
+}
+
+TEST(DynamicGraph, RebuildWithoutUpdatesPreservesArcs)
+{
+    DynamicGraph dyn = smallDynamic();
+    const Graph &g = dyn.rebuild();
+    EXPECT_EQ(g.numArcs(), 4u);
+    EXPECT_FALSE(dyn.dirty());
+}
+
+TEST(DynamicGraph, InsertionsApplyAtRebuild)
+{
+    DynamicGraph dyn = smallDynamic();
+    dyn.rebuild();
+    dyn.addEdge(Edge{0, 2, 5});
+    EXPECT_TRUE(dyn.dirty());
+    EXPECT_EQ(dyn.pendingInsertions(), 1u);
+    const Graph &g = dyn.rebuild();
+    EXPECT_EQ(g.numArcs(), 5u);
+    const auto nbrs = g.outNeighbors(0);
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), 2u) != nbrs.end());
+}
+
+TEST(DynamicGraph, RemovalsApplyAtRebuild)
+{
+    DynamicGraph dyn = smallDynamic();
+    dyn.removeEdge(1, 2);
+    const Graph &g = dyn.rebuild();
+    EXPECT_EQ(g.numArcs(), 3u);
+    EXPECT_EQ(g.outDegree(1), 0u);
+}
+
+TEST(DynamicGraph, RemoveThenAddSameArc)
+{
+    DynamicGraph dyn = smallDynamic();
+    dyn.removeEdge(0, 1);
+    dyn.addEdge(Edge{0, 1, 9});
+    const Graph &g = dyn.rebuild();
+    EXPECT_EQ(g.numArcs(), 4u);
+    EXPECT_EQ(g.outWeights(0)[0], 9);
+}
+
+TEST(DynamicGraph, CurrentRequiresRebuild)
+{
+    DynamicGraph dyn = smallDynamic();
+    dyn.rebuild();
+    EXPECT_EQ(dyn.current().numArcs(), 4u);
+}
+
+TEST(DynamicGraph, FromGraphRoundTrip)
+{
+    Rng rng(4);
+    Graph g = buildGraph(1 << 8, generateRmat(8, 6, rng));
+    DynamicGraph dyn(g);
+    const Graph &back = dyn.rebuild();
+    EXPECT_EQ(back.numArcs(), g.numArcs());
+    EXPECT_EQ(back.numVertices(), g.numVertices());
+}
+
+TEST(DynamicGraph, ReorderedRebuildRestoresHotPrefix)
+{
+    Rng rng(6);
+    Graph g = buildGraph(1 << 10, generateRmat(10, 8, rng));
+    DynamicGraph dyn(reorderGraph(g, ReorderKind::InDegreeNthElement));
+    dyn.rebuild();
+    const double before = prefixInEdgeCoverage(dyn.current(), 0.2);
+
+    // Shift popularity to formerly-cold vertices.
+    const VertexId n = dyn.numVertices();
+    for (int i = 0; i < 5000; ++i) {
+        const auto src = static_cast<VertexId>(rng.nextBounded(n));
+        const auto hub =
+            static_cast<VertexId>(n - 1 - rng.nextBounded(16));
+        dyn.addEdge(Edge{src, hub, 1});
+    }
+    const double stale = prefixInEdgeCoverage(dyn.rebuild(), 0.2);
+    EXPECT_LT(stale, before);
+    const double fresh =
+        prefixInEdgeCoverage(dyn.rebuildReordered(), 0.2);
+    EXPECT_GT(fresh, stale + 0.05);
+}
+
+TEST(DynamicGraph, ReorderedRebuildIsARenumbering)
+{
+    // Renumbering preserves the arc count and the degree multiset.
+    Rng rng(8);
+    Graph g = buildGraph(1 << 8, generateRmat(8, 8, rng));
+    DynamicGraph dyn(g);
+    const Graph &renamed = dyn.rebuildReordered(ReorderKind::InDegreeSort);
+    EXPECT_EQ(renamed.numArcs(), g.numArcs());
+    EXPECT_TRUE(renamed.validate());
+
+    std::vector<EdgeId> deg_before;
+    std::vector<EdgeId> deg_after;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        deg_before.push_back(g.inDegree(v));
+        deg_after.push_back(renamed.inDegree(v));
+    }
+    std::sort(deg_before.begin(), deg_before.end());
+    std::sort(deg_after.begin(), deg_after.end());
+    EXPECT_EQ(deg_before, deg_after);
+    // And the hot-first invariant holds after the rename.
+    for (VertexId v = 1; v < renamed.numVertices(); ++v)
+        ASSERT_GE(renamed.inDegree(v - 1), renamed.inDegree(v));
+}
+
+} // namespace
+} // namespace omega

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Tests for VertexSubset, the static scheduler and the Engine runtime
+ * (functional behaviour + event emission).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/bfs.hh"
+#include "algorithms/pagerank.hh"
+#include "framework/engine.hh"
+#include "framework/scheduler.hh"
+#include "framework/vertex_subset.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "sim/baseline_machine.hh"
+#include "util/rng.hh"
+
+namespace omega {
+namespace {
+
+TEST(VertexSubset, SingleAndAll)
+{
+    auto s = VertexSubset::single(10, 3);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_FALSE(s.contains(4));
+    auto a = VertexSubset::all(5);
+    EXPECT_EQ(a.size(), 5u);
+    EXPECT_TRUE(a.isDense());
+    EXPECT_TRUE(a.contains(4));
+}
+
+TEST(VertexSubset, ConversionsPreserveMembership)
+{
+    auto s = VertexSubset::fromSparse(10, {1, 5, 9});
+    EXPECT_FALSE(s.isDense());
+    s.toDense();
+    EXPECT_TRUE(s.isDense());
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_FALSE(s.contains(4));
+    s.toSparse();
+    EXPECT_EQ(s.sparse().size(), 3u);
+    EXPECT_EQ(s.sparse()[0], 1u);
+    EXPECT_EQ(s.sparse()[2], 9u);
+}
+
+TEST(VertexSubset, FromDenseCountsActive)
+{
+    auto s = VertexSubset::fromDense({0, 1, 1, 0, 1});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.numVertices(), 5u);
+}
+
+TEST(VertexSubset, EmptyBehaviour)
+{
+    VertexSubset s(4);
+    EXPECT_TRUE(s.empty());
+    s.toDense();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Scheduler, CoversAllItemsExactlyOnce)
+{
+    StaticScheduler sched(103, 4, 8);
+    std::set<std::uint64_t> seen;
+    while (!sched.done()) {
+        for (unsigned c = 0; c < 4; ++c) {
+            if (auto i = sched.next(c))
+                EXPECT_TRUE(seen.insert(*i).second);
+        }
+    }
+    EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(Scheduler, ChunkAssignmentIsOpenMpStatic)
+{
+    // schedule(static, 4) over 3 cores: core 0 gets 0-3, 12-15, ...
+    StaticScheduler sched(24, 3, 4);
+    std::vector<std::uint64_t> core0;
+    while (auto i = sched.next(0))
+        core0.push_back(*i);
+    EXPECT_EQ(core0,
+              (std::vector<std::uint64_t>{0, 1, 2, 3, 12, 13, 14, 15}));
+}
+
+TEST(Scheduler, PeekDoesNotConsume)
+{
+    StaticScheduler sched(10, 2, 2);
+    EXPECT_EQ(*sched.peek(1), 2u);
+    EXPECT_EQ(*sched.peek(1), 2u);
+    EXPECT_EQ(*sched.next(1), 2u);
+    EXPECT_EQ(*sched.peek(1), 3u);
+}
+
+TEST(Scheduler, RemainingCountsDown)
+{
+    StaticScheduler sched(5, 2, 2);
+    EXPECT_EQ(sched.remaining(), 5u);
+    sched.next(0);
+    EXPECT_EQ(sched.remaining(), 4u);
+}
+
+// --- Engine tests -----------------------------------------------------
+
+Graph
+chainGraph(VertexId n)
+{
+    EdgeList edges;
+    for (VertexId v = 0; v + 1 < n; ++v)
+        edges.push_back({v, v + 1, 1});
+    return buildGraph(n, std::move(edges));
+}
+
+TEST(Engine, FunctionalEdgeMapVisitsAllEdges)
+{
+    Graph g = chainGraph(50);
+    PropertyRegistry props(50);
+    Engine eng(g, props, pageRankUpdateFn(), nullptr);
+    int visits = 0;
+    eng.edgeMap(VertexSubset::all(50),
+                [&](unsigned, VertexId, VertexId, std::int32_t) {
+                    ++visits;
+                    return EdgeUpdateResult{};
+                },
+                false);
+    EXPECT_EQ(visits, 49);
+}
+
+TEST(Engine, SparseEdgeMapProducesNextFrontier)
+{
+    Graph g = chainGraph(10);
+    PropertyRegistry props(10);
+    Engine eng(g, props, bfsUpdateFn(), nullptr);
+    auto next = eng.edgeMap(
+        VertexSubset::single(10, 0),
+        [&](unsigned, VertexId, VertexId, std::int32_t) {
+            EdgeUpdateResult r;
+            r.activated = true;
+            return r;
+        });
+    EXPECT_EQ(next.size(), 1u);
+    EXPECT_TRUE(next.contains(1));
+}
+
+TEST(Engine, ActivationIsDeduplicated)
+{
+    // Two sources pointing at the same destination: one activation.
+    EdgeList edges{{0, 2, 1}, {1, 2, 1}};
+    Graph g = buildGraph(3, std::move(edges));
+    PropertyRegistry props(3);
+    Engine eng(g, props, bfsUpdateFn(), nullptr);
+    auto next = eng.edgeMap(
+        VertexSubset::fromSparse(3, {0, 1}),
+        [&](unsigned, VertexId, VertexId, std::int32_t) {
+            EdgeUpdateResult r;
+            r.activated = true;
+            return r;
+        });
+    EXPECT_EQ(next.size(), 1u);
+}
+
+TEST(Engine, DenseSwitchOnLargeFrontier)
+{
+    // A frontier whose out-degree sum exceeds arcs/20 must process
+    // dense and return a dense subset.
+    Rng rng(3);
+    Graph g = buildGraph(1 << 8, generateRmat(8, 8, rng));
+    PropertyRegistry props(g.numVertices());
+    Engine eng(g, props, bfsUpdateFn(), nullptr);
+    std::vector<VertexId> half;
+    for (VertexId v = 0; v < g.numVertices(); v += 2)
+        half.push_back(v);
+    auto next = eng.edgeMap(
+        VertexSubset::fromSparse(g.numVertices(), half),
+        [&](unsigned, VertexId, VertexId, std::int32_t) {
+            EdgeUpdateResult r;
+            r.activated = true;
+            return r;
+        });
+    EXPECT_TRUE(next.isDense());
+}
+
+TEST(Engine, VertexMapAppliesToSubsetOnly)
+{
+    Graph g = chainGraph(10);
+    PropertyRegistry props(10);
+    auto &val = props.create<std::int32_t>("val", 0);
+    Engine eng(g, props, pageRankUpdateFn(), nullptr);
+    eng.vertexMap(VertexSubset::fromSparse(10, {2, 4}),
+                  [&](unsigned, VertexId v) { val[v] = 1; });
+    EXPECT_EQ(val[2], 1);
+    EXPECT_EQ(val[4], 1);
+    EXPECT_EQ(val[3], 0);
+}
+
+TEST(Engine, VertexHookRunsOncePerActiveVertex)
+{
+    Graph g = chainGraph(20);
+    PropertyRegistry props(20);
+    Engine eng(g, props, pageRankUpdateFn(), nullptr);
+    int hooks = 0;
+    eng.edgeMap(VertexSubset::all(20),
+                [&](unsigned, VertexId, VertexId, std::int32_t) {
+                    return EdgeUpdateResult{};
+                },
+                false, [&](unsigned, VertexId) { ++hooks; });
+    EXPECT_EQ(hooks, 20);
+}
+
+TEST(Engine, MachineReceivesEvents)
+{
+    Graph g = chainGraph(64);
+    PropertyRegistry props(64);
+    auto &prop = props.create<double>("p", 0.0);
+    MachineParams mp = MachineParams::baseline().scaledCapacities(1.0 / 64);
+    BaselineMachine mach(mp);
+    Engine eng(g, props, pageRankUpdateFn(), &mach);
+    eng.setAtomicTarget(&prop);
+    eng.configureMachine();
+    eng.edgeMap(VertexSubset::all(64),
+                [&](unsigned, VertexId, VertexId, std::int32_t) {
+                    EdgeUpdateResult r;
+                    r.performed_atomic = true;
+                    return r;
+                },
+                false);
+    eng.finishIteration();
+    const StatsReport r = mach.report();
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.atomics_total, 63u);
+    EXPECT_GT(r.l1_accesses, 63u);
+    EXPECT_GT(r.instructions, 0u);
+}
+
+TEST(Engine, FunctionalAndSimulatedAgree)
+{
+    // The same algorithm must produce identical functional results with
+    // and without a machine attached.
+    Rng rng(5);
+    Graph g = buildGraph(1 << 9, generateRmat(9, 8, rng));
+    auto func = runPageRank(g, nullptr, 3);
+    MachineParams mp = MachineParams::baseline().scaledCapacities(1.0 / 64);
+    BaselineMachine mach(mp);
+    auto sim = runPageRank(g, &mach, 3);
+    ASSERT_EQ(func.rank.size(), sim.rank.size());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_NEAR(func.rank[v], sim.rank[v], 1e-12);
+}
+
+TEST(Engine, AddressBasesAreDisjointRegions)
+{
+    Graph g = chainGraph(10);
+    PropertyRegistry props(10);
+    Engine eng(g, props, pageRankUpdateFn(), nullptr);
+    EXPECT_GE(eng.outOffsetsBase(), addr_space::kEdgeBase);
+    EXPECT_GT(eng.outArcsBase(), eng.outOffsetsBase());
+    EXPECT_GE(eng.denseActiveBase(), addr_space::kActiveBase);
+    EXPECT_GT(eng.sparseActiveBase(), eng.denseActiveBase());
+}
+
+TEST(Engine, IterationCounterAdvances)
+{
+    Graph g = chainGraph(4);
+    PropertyRegistry props(4);
+    Engine eng(g, props, pageRankUpdateFn(), nullptr);
+    EXPECT_EQ(eng.iterations(), 0u);
+    eng.finishIteration();
+    eng.finishIteration();
+    EXPECT_EQ(eng.iterations(), 2u);
+}
+
+} // namespace
+} // namespace omega

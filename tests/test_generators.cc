@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the synthetic graph generators, including the power-law
+ * properties the paper's methodology depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/builder.hh"
+#include "graph/degree_stats.hh"
+#include "graph/generators.hh"
+#include "util/rng.hh"
+
+namespace omega {
+namespace {
+
+TEST(Rmat, ProducesRequestedArcCount)
+{
+    Rng rng(1);
+    EdgeList edges = generateRmat(10, 8, rng);
+    EXPECT_EQ(edges.size(), (1u << 10) * 8u);
+}
+
+TEST(Rmat, EndpointsInRange)
+{
+    Rng rng(2);
+    EdgeList edges = generateRmat(9, 4, rng);
+    for (const Edge &e : edges) {
+        EXPECT_LT(e.src, 1u << 9);
+        EXPECT_LT(e.dst, 1u << 9);
+        EXPECT_GE(e.weight, 1);
+        EXPECT_LE(e.weight, 16);
+    }
+}
+
+TEST(Rmat, DeterministicPerSeed)
+{
+    Rng a(5);
+    Rng b(5);
+    EdgeList ea = generateRmat(8, 4, a);
+    EdgeList eb = generateRmat(8, 4, b);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        EXPECT_EQ(ea[i].src, eb[i].src);
+        EXPECT_EQ(ea[i].dst, eb[i].dst);
+    }
+}
+
+TEST(Rmat, SkewedParamsGivePowerLaw)
+{
+    Rng rng(3);
+    EdgeList edges = generateRmat(13, 12, rng);
+    Graph g = buildGraph(1 << 13, std::move(edges));
+    DegreeStats s = computeDegreeStats(g);
+    EXPECT_TRUE(s.power_law);
+    EXPECT_GT(s.in_degree_connectivity, 0.6);
+}
+
+TEST(Rmat, UniformParamsGiveNoPowerLaw)
+{
+    Rng rng(3);
+    RmatParams p;
+    p.a = p.b = p.c = 0.25;
+    EdgeList edges = generateRmat(13, 12, rng, p);
+    Graph g = buildGraph(1 << 13, std::move(edges));
+    DegreeStats s = computeDegreeStats(g);
+    EXPECT_FALSE(s.power_law);
+    EXPECT_LT(s.in_degree_connectivity, 0.45);
+}
+
+TEST(BarabasiAlbert, DegreeSumMatchesEdges)
+{
+    Rng rng(4);
+    EdgeList edges = generateBarabasiAlbert(2000, 3, rng);
+    Graph g = buildGraph(2000, edges, {.symmetrize = true});
+    EXPECT_GT(g.numEdges(), 0u);
+    // Preferential attachment concentrates degree.
+    DegreeStats s = computeDegreeStats(g);
+    EXPECT_GT(s.in_degree_connectivity, 0.40);
+    EXPECT_GT(s.max_in_degree, 50.0);
+}
+
+TEST(BarabasiAlbert, NoDuplicateTargetsPerVertex)
+{
+    Rng rng(6);
+    EdgeList edges = generateBarabasiAlbert(500, 4, rng);
+    // Each arriving vertex adds exactly 4 distinct targets.
+    std::map<VertexId, std::set<VertexId>> targets;
+    for (const Edge &e : edges) {
+        if (e.src >= 5) { // past the seed clique
+            auto [it, fresh] = targets[e.src].insert(e.dst);
+            EXPECT_TRUE(fresh) << "duplicate target for " << e.src;
+        }
+    }
+}
+
+TEST(RoadMesh, NearlyUniformDegrees)
+{
+    Rng rng(7);
+    EdgeList edges = generateRoadMesh(60, 60, 0.10, 0.05, rng);
+    Graph g = buildGraph(3600, edges, {.symmetrize = true});
+    DegreeStats s = computeDegreeStats(g);
+    EXPECT_FALSE(s.power_law);
+    EXPECT_LT(s.in_degree_connectivity, 0.35);
+    EXPECT_LT(s.max_in_degree, 16.0);
+}
+
+TEST(RoadMesh, EndpointsInRange)
+{
+    Rng rng(8);
+    EdgeList edges = generateRoadMesh(10, 12, 0.1, 0.1, rng);
+    for (const Edge &e : edges) {
+        EXPECT_LT(e.src, 120u);
+        EXPECT_LT(e.dst, 120u);
+    }
+}
+
+TEST(ErdosRenyi, ArcCountAndRange)
+{
+    Rng rng(9);
+    EdgeList edges = generateErdosRenyi(100, 500, rng);
+    EXPECT_EQ(edges.size(), 500u);
+    for (const Edge &e : edges) {
+        EXPECT_LT(e.src, 100u);
+        EXPECT_LT(e.dst, 100u);
+    }
+}
+
+TEST(DegreeStats, ConnectivityBounds)
+{
+    Rng rng(10);
+    EdgeList edges = generateRmat(10, 8, rng);
+    Graph g = buildGraph(1 << 10, std::move(edges));
+    const double c20 = degreeConnectivity(g, true, 0.20);
+    const double c50 = degreeConnectivity(g, true, 0.50);
+    const double c100 = degreeConnectivity(g, true, 1.0);
+    EXPECT_LE(c20, c50);
+    EXPECT_LE(c50, c100);
+    EXPECT_NEAR(c100, 1.0, 1e-9);
+}
+
+TEST(DegreeStats, PowerLawExponentInNaturalRange)
+{
+    // Barabasi-Albert converges to alpha ~= 3.
+    Rng rng(12);
+    Graph ba = buildGraph(8000, generateBarabasiAlbert(8000, 3, rng),
+                          {.symmetrize = true});
+    const double alpha = powerLawExponentMLE(ba, 6);
+    EXPECT_GT(alpha, 2.2);
+    EXPECT_LT(alpha, 3.8);
+}
+
+TEST(DegreeStats, ExponentDegenerateOnUniformGraphs)
+{
+    Rng rng(13);
+    Graph road = buildGraph(3600, generateRoadMesh(60, 60, 0.1, 0.05, rng),
+                            {.symmetrize = true});
+    // A near-uniform degree-4 mesh: either nothing reaches d_min or the
+    // fitted exponent is far outside the natural-graph band.
+    const double alpha = powerLawExponentMLE(road, 6);
+    EXPECT_TRUE(alpha == 0.0 || alpha > 4.0);
+}
+
+TEST(DegreeStats, HistogramSumsToVertexCount)
+{
+    Rng rng(14);
+    Graph g = buildGraph(1 << 10, generateRmat(10, 8, rng));
+    const auto hist = inDegreeHistogram(g);
+    std::uint64_t total = 0;
+    std::uint64_t weighted = 0;
+    for (std::size_t d = 0; d < hist.size(); ++d) {
+        total += hist[d];
+        weighted += hist[d] * d;
+    }
+    EXPECT_EQ(total, g.numVertices());
+    EXPECT_EQ(weighted, g.numArcs());
+    EXPECT_GT(hist[0] + hist[1], 0u); // power law: a long tail of low degrees
+}
+
+TEST(DegreeStats, VerticesByInDegreeSorted)
+{
+    Rng rng(11);
+    EdgeList edges = generateRmat(9, 6, rng);
+    Graph g = buildGraph(1 << 9, std::move(edges));
+    const auto order = verticesByInDegree(g);
+    ASSERT_EQ(order.size(), g.numVertices());
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_GE(g.inDegree(order[i - 1]), g.inDegree(order[i]));
+}
+
+} // namespace
+} // namespace omega

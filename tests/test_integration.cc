@@ -1,0 +1,175 @@
+/**
+ * @file
+ * End-to-end integration tests: mini versions of the paper's headline
+ * experiments, checking the qualitative shapes the benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.hh"
+#include "graph/datasets.hh"
+#include "graph/reorder.hh"
+#include "model/energy_model.hh"
+#include "model/highlevel_model.hh"
+#include "omega/omega_machine.hh"
+#include "sim/baseline_machine.hh"
+
+namespace omega {
+namespace {
+
+struct MiniRun
+{
+    Cycles base_cycles;
+    Cycles omega_cycles;
+    StatsReport base;
+    StatsReport omega;
+    MachineParams base_params;
+    MachineParams omega_params;
+};
+
+MiniRun
+runPair(const std::string &dataset, AlgorithmKind kind)
+{
+    const auto spec = *findDataset(dataset);
+    Graph g = reorderGraph(buildDataset(spec),
+                           ReorderKind::InDegreeNthElement);
+    MiniRun out;
+    out.base_params =
+        MachineParams::baseline().scaledCapacities(spec.capacity_scale);
+    out.omega_params =
+        MachineParams::omega().scaledCapacities(spec.capacity_scale);
+    BaselineMachine base(out.base_params);
+    OmegaMachine om(out.omega_params);
+    out.base_cycles = runAlgorithmOnMachine(kind, g, &base);
+    out.omega_cycles = runAlgorithmOnMachine(kind, g, &om);
+    out.base = base.report();
+    out.omega = om.report();
+    return out;
+}
+
+TEST(Integration, Fig14ShapePageRankOnSd)
+{
+    const MiniRun r = runPair("sd", AlgorithmKind::PageRank);
+    const double speedup = static_cast<double>(r.base_cycles) /
+                           static_cast<double>(r.omega_cycles);
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 8.0);
+}
+
+TEST(Integration, Fig14ShapeBfsOnSd)
+{
+    const MiniRun r = runPair("sd", AlgorithmKind::BFS);
+    const double speedup = static_cast<double>(r.base_cycles) /
+                           static_cast<double>(r.omega_cycles);
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_LT(speedup, 6.0);
+}
+
+TEST(Integration, Fig15ShapeLastLevelHitRateImproves)
+{
+    const MiniRun r = runPair("sd", AlgorithmKind::PageRank);
+    EXPECT_GT(r.omega.lastLevelHitRate(), r.base.lastLevelHitRate());
+}
+
+TEST(Integration, Fig16ShapeDramBandwidthImproves)
+{
+    const MiniRun r = runPair("sd", AlgorithmKind::PageRank);
+    EXPECT_GT(r.omega.dramBandwidthGBs(2.0), r.base.dramBandwidthGBs(2.0));
+}
+
+TEST(Integration, Fig17ShapeOnChipTrafficDrops)
+{
+    const MiniRun r = runPair("sd", AlgorithmKind::PageRank);
+    EXPECT_LT(static_cast<double>(r.omega.onchip_bytes),
+              0.6 * static_cast<double>(r.base.onchip_bytes));
+}
+
+TEST(Integration, Fig18ShapeRoadGraphGainsLess)
+{
+    const MiniRun pl = runPair("sd", AlgorithmKind::PageRank);
+    const MiniRun road = runPair("rPA", AlgorithmKind::PageRank);
+    const double s_pl = static_cast<double>(pl.base_cycles) /
+                        static_cast<double>(pl.omega_cycles);
+    const double s_road = static_cast<double>(road.base_cycles) /
+                          static_cast<double>(road.omega_cycles);
+    // Power-law graphs benefit more... unless the road graph's tiny
+    // vtxProp fits entirely (the paper notes rPA/rCA gain well then).
+    // The robust Fig-18 claim uses a road graph too large to fit: USA.
+    EXPECT_GT(s_pl, 1.0);
+    EXPECT_GT(s_road, 0.8);
+}
+
+TEST(Integration, Fig21ShapeOmegaSavesMemoryEnergy)
+{
+    const MiniRun r = runPair("sd", AlgorithmKind::PageRank);
+    const auto eb = computeMemoryEnergy(r.base, r.base_params);
+    const auto eo = computeMemoryEnergy(r.omega, r.omega_params);
+    EXPECT_LT(eo.total(), eb.total());
+}
+
+TEST(Integration, DeterministicAcrossRuns)
+{
+    const MiniRun a = runPair("sd", AlgorithmKind::PageRank);
+    const MiniRun b = runPair("sd", AlgorithmKind::PageRank);
+    EXPECT_EQ(a.base_cycles, b.base_cycles);
+    EXPECT_EQ(a.omega_cycles, b.omega_cycles);
+    EXPECT_EQ(a.omega.onchip_bytes, b.omega.onchip_bytes);
+}
+
+TEST(Integration, HighLevelModelTracksDetailedSim)
+{
+    // Fig 20 validation: feed the high-level model the measured inputs
+    // and compare its speedup against the detailed simulation.
+    const auto spec = *findDataset("sd");
+    Graph g = reorderGraph(buildDataset(spec),
+                           ReorderKind::InDegreeNthElement);
+    const MiniRun r = runPair("sd", AlgorithmKind::PageRank);
+
+    HighLevelInputs in;
+    in.vertices = g.numVertices();
+    in.edges = g.numArcs();
+    in.vtxprop_accesses_per_edge = 1.0;
+    in.atomics_per_edge = 1.0;
+    in.llc_hit_rate = r.base.l2HitRate();
+    in.sp_access_coverage = r.omega.hotVertexAccessFraction() > 0
+                                ? static_cast<double>(
+                                      r.omega.sp_accesses) /
+                                      std::max<std::uint64_t>(
+                                          r.omega.vtxprop_accesses, 1)
+                                : 0.8;
+    in.sp_access_coverage = std::min(in.sp_access_coverage, 1.0);
+    const auto est = estimateLargeGraph(r.base_params, r.omega_params, in);
+    const double detailed = static_cast<double>(r.base_cycles) /
+                            static_cast<double>(r.omega_cycles);
+    // The paper reports ~7% model error; we accept a generous band while
+    // still requiring the model to point the same direction and order.
+    EXPECT_GT(est.speedup, 1.0);
+    EXPECT_NEAR(est.speedup, detailed, detailed * 0.6);
+}
+
+TEST(Integration, ReorderingAblationDirection)
+{
+    // Section III: in-degree reordering alone (on the BASELINE, no
+    // OMEGA hardware) helps only mildly.
+    const auto spec = *findDataset("sd");
+    Graph natural = buildDataset(spec);
+    Graph ordered =
+        reorderGraph(natural, ReorderKind::InDegreeNthElement);
+
+    const auto params =
+        MachineParams::baseline().scaledCapacities(spec.capacity_scale);
+    BaselineMachine m1(params);
+    const Cycles c_nat =
+        runAlgorithmOnMachine(AlgorithmKind::PageRank, natural, &m1);
+    BaselineMachine m2(params);
+    const Cycles c_ord =
+        runAlgorithmOnMachine(AlgorithmKind::PageRank, ordered, &m2);
+    // Within +-35%: reordering alone is NOT the 2x win OMEGA gets.
+    const double ratio =
+        static_cast<double>(c_nat) / static_cast<double>(c_ord);
+    EXPECT_GT(ratio, 0.65);
+    EXPECT_LT(ratio, 1.35);
+}
+
+} // namespace
+} // namespace omega

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the area/power, energy and high-level performance models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/area_power.hh"
+#include "model/energy_model.hh"
+#include "model/highlevel_model.hh"
+
+namespace omega {
+namespace {
+
+TEST(AreaPower, BaselineNodeMatchesTable4)
+{
+    const NodeAreaPower node = nodeAreaPower(MachineParams::baseline());
+    EXPECT_NEAR(node.core.power_w, 3.11, 1e-9);
+    EXPECT_NEAR(node.l1.power_w, 0.20, 1e-9);
+    // 2 MB L2 slice: 2.86 W / 8.41 mm^2 (within the linear-fit error).
+    EXPECT_NEAR(node.l2.power_w, 2.86, 0.05);
+    EXPECT_NEAR(node.l2.area_mm2, 8.41, 0.05);
+    EXPECT_DOUBLE_EQ(node.scratchpad.power_w, 0.0);
+    EXPECT_DOUBLE_EQ(node.pisc.power_w, 0.0);
+    // Node totals: 6.17 W / 32.91 mm^2.
+    EXPECT_NEAR(node.total().power_w, 6.17, 0.1);
+    EXPECT_NEAR(node.total().area_mm2, 32.91, 0.1);
+}
+
+TEST(AreaPower, OmegaNodeMatchesTable4)
+{
+    const NodeAreaPower node = nodeAreaPower(MachineParams::omega());
+    EXPECT_NEAR(node.l2.power_w, 1.50, 0.05);
+    EXPECT_NEAR(node.l2.area_mm2, 4.47, 0.05);
+    EXPECT_NEAR(node.scratchpad.power_w, 1.40, 0.02);
+    EXPECT_NEAR(node.scratchpad.area_mm2, 3.17, 0.02);
+    EXPECT_NEAR(node.pisc.power_w, 0.004, 1e-6);
+    // Node totals: 6.21 W / 32.15 mm^2.
+    EXPECT_NEAR(node.total().power_w, 6.21, 0.1);
+    EXPECT_NEAR(node.total().area_mm2, 32.15, 0.15);
+}
+
+TEST(AreaPower, OmegaTradeoffDirections)
+{
+    // The paper: OMEGA is slightly smaller (-2.31%) and slightly more
+    // power-hungry (+0.65%) than the baseline node.
+    const auto base = nodeAreaPower(MachineParams::baseline()).total();
+    const auto om = nodeAreaPower(MachineParams::omega()).total();
+    EXPECT_LT(om.area_mm2, base.area_mm2);
+    EXPECT_GT(om.power_w, base.power_w);
+    EXPECT_NEAR((base.area_mm2 - om.area_mm2) / base.area_mm2, 0.0231,
+                0.01);
+}
+
+TEST(AreaPower, ScalesWithCapacity)
+{
+    EXPECT_LT(cacheAreaPower(1.0).power_w, cacheAreaPower(2.0).power_w);
+    EXPECT_LT(scratchpadAreaPower(0.5).area_mm2,
+              scratchpadAreaPower(1.0).area_mm2);
+    EXPECT_DOUBLE_EQ(cacheAreaPower(0.0).power_w, 0.0);
+    // Tag-less scratchpads are cheaper per MB than caches.
+    EXPECT_LT(scratchpadAreaPower(1.0).area_mm2,
+              cacheAreaPower(1.0).area_mm2);
+}
+
+StatsReport
+sampleStats(bool omega)
+{
+    StatsReport r;
+    r.cycles = 1'000'000;
+    r.l1_accesses = 500'000;
+    r.l2_accesses = omega ? 60'000 : 200'000;
+    r.dram_read_bytes = omega ? 3'000'000 : 10'000'000;
+    r.dram_write_bytes = omega ? 500'000 : 2'000'000;
+    r.onchip_flits = omega ? 300'000 : 1'200'000;
+    if (omega) {
+        r.sp_accesses = 180'000;
+        r.pisc_busy_cycles = 400'000;
+        r.atomics_offloaded = 100'000;
+    } else {
+        r.atomics_on_core = 100'000;
+    }
+    r.atomics_total = 100'000;
+    return r;
+}
+
+TEST(Energy, BreakdownIsPositiveAndAdditive)
+{
+    const auto e = computeMemoryEnergy(sampleStats(false),
+                                       MachineParams::baseline());
+    EXPECT_GT(e.cache_j, 0.0);
+    EXPECT_GT(e.dram_j, 0.0);
+    EXPECT_GT(e.static_j, 0.0);
+    EXPECT_NEAR(e.total(),
+                e.cache_j + e.scratchpad_j + e.noc_j + e.dram_j +
+                    e.static_j + e.atomic_j,
+                1e-15);
+}
+
+TEST(Energy, OmegaRunUsesLessMemoryEnergy)
+{
+    const auto eb = computeMemoryEnergy(sampleStats(false),
+                                        MachineParams::baseline());
+    const auto eo =
+        computeMemoryEnergy(sampleStats(true), MachineParams::omega());
+    EXPECT_LT(eo.total(), eb.total());
+    // The savings come mostly from DRAM and cache dynamic energy.
+    EXPECT_LT(eo.dram_j, eb.dram_j);
+    EXPECT_LT(eo.cache_j, eb.cache_j);
+}
+
+TEST(Energy, ScratchpadAccessCheaperThanCache)
+{
+    const EnergyParams ep;
+    EXPECT_LT(ep.sp_access_pj, ep.l2_access_pj);
+}
+
+TEST(Energy, StaticEnergyScalesWithTime)
+{
+    StatsReport r = sampleStats(false);
+    const auto e1 = computeMemoryEnergy(r, MachineParams::baseline());
+    r.cycles *= 2;
+    const auto e2 = computeMemoryEnergy(r, MachineParams::baseline());
+    EXPECT_NEAR(e2.static_j, 2.0 * e1.static_j, 1e-12);
+}
+
+HighLevelInputs
+twitterLikeInputs()
+{
+    HighLevelInputs in;
+    in.vertices = 41'600'000;
+    in.edges = 1'468'000'000;
+    in.vtxprop_accesses_per_edge = 1.0;
+    in.atomics_per_edge = 1.0;
+    in.llc_hit_rate = 0.35;
+    in.sp_access_coverage = 0.47; // paper: 5% of vertices = 47% accesses
+    in.sp_capacity_coverage = 0.05;
+    return in;
+}
+
+TEST(HighLevel, PowerLawGraphSpeedsUp)
+{
+    const auto r = estimateLargeGraph(MachineParams::baseline(),
+                                      MachineParams::omega(),
+                                      twitterLikeInputs());
+    EXPECT_GT(r.speedup, 1.2); // paper: 1.68x for twitter PageRank
+    EXPECT_LT(r.speedup, 4.0);
+    EXPECT_GT(r.baseline_cycles, 0.0);
+}
+
+TEST(HighLevel, MoreCoverageMoreSpeedup)
+{
+    HighLevelInputs lo = twitterLikeInputs();
+    HighLevelInputs hi = twitterLikeInputs();
+    hi.sp_access_coverage = 0.8;
+    const auto rl = estimateLargeGraph(MachineParams::baseline(),
+                                       MachineParams::omega(), lo);
+    const auto rh = estimateLargeGraph(MachineParams::baseline(),
+                                       MachineParams::omega(), hi);
+    EXPECT_GT(rh.speedup, rl.speedup);
+}
+
+TEST(HighLevel, NoCoverageMeansLittleGain)
+{
+    HighLevelInputs in = twitterLikeInputs();
+    in.sp_access_coverage = 0.0;
+    const auto r = estimateLargeGraph(MachineParams::baseline(),
+                                      MachineParams::omega(), in);
+    // Only the atomic offload difference disappears too (no SP homes),
+    // so the remaining gain is bounded.
+    EXPECT_LT(r.speedup, 1.6);
+}
+
+TEST(HighLevel, ScalesLinearlyInEdges)
+{
+    HighLevelInputs a = twitterLikeInputs();
+    HighLevelInputs b = twitterLikeInputs();
+    b.edges *= 2;
+    const auto ra = estimateLargeGraph(MachineParams::baseline(),
+                                       MachineParams::omega(), a);
+    const auto rb = estimateLargeGraph(MachineParams::baseline(),
+                                       MachineParams::omega(), b);
+    EXPECT_NEAR(rb.baseline_cycles / ra.baseline_cycles, 2.0, 0.01);
+}
+
+} // namespace
+} // namespace omega

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the vtxProp property registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "framework/properties.hh"
+
+namespace omega {
+namespace {
+
+TEST(Properties, AddressesStartInPropRegion)
+{
+    PropertyRegistry reg(100);
+    auto &a = reg.create<double>("a");
+    EXPECT_EQ(a.startAddr(), addr_space::kPropBase);
+    EXPECT_EQ(a.typeSize(), 8u);
+    EXPECT_EQ(a.count(), 100u);
+}
+
+TEST(Properties, ArraysDoNotOverlap)
+{
+    PropertyRegistry reg(100);
+    auto &a = reg.create<double>("a");
+    auto &b = reg.create<std::int32_t>("b");
+    EXPECT_GE(b.startAddr(), a.startAddr() + 100 * 8);
+    // 64-byte aligned.
+    EXPECT_EQ(b.startAddr() % 64, 0u);
+}
+
+TEST(Properties, AddrOfIsStrided)
+{
+    PropertyRegistry reg(10);
+    auto &a = reg.create<std::int32_t>("a");
+    EXPECT_EQ(a.addrOf(3), a.startAddr() + 12);
+}
+
+TEST(Properties, HostStorageWorks)
+{
+    PropertyRegistry reg(5);
+    auto &a = reg.create<std::int32_t>("a", -1);
+    EXPECT_EQ(a[4], -1);
+    a[2] = 42;
+    EXPECT_EQ(a[2], 42);
+    a.fill(7);
+    EXPECT_EQ(a[0], 7);
+    EXPECT_EQ(a[4], 7);
+}
+
+TEST(Properties, SpecsMatchRegistration)
+{
+    PropertyRegistry reg(50);
+    reg.create<double>("x");
+    reg.create<std::uint32_t>("y");
+    const auto specs = reg.specs();
+    ASSERT_EQ(specs.size(), 2u);
+    EXPECT_EQ(specs[0].type_size, 8u);
+    EXPECT_EQ(specs[0].stride, 8u);
+    EXPECT_EQ(specs[1].type_size, 4u);
+    EXPECT_EQ(specs[0].count, 50u);
+}
+
+TEST(Properties, BytesPerVertexSumsEntries)
+{
+    PropertyRegistry reg(10);
+    reg.create<std::uint32_t>("visited");
+    reg.create<std::uint32_t>("next_visited");
+    reg.create<std::int32_t>("radii");
+    EXPECT_EQ(reg.bytesPerVertex(), 12u); // the paper's Radii row
+}
+
+TEST(Properties, OtherRegionAllocations)
+{
+    PropertyRegistry reg(10);
+    const auto a = reg.allocOther(100);
+    const auto b = reg.allocOther(8);
+    EXPECT_EQ(a, addr_space::kOtherBase);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(b % 64, 0u);
+}
+
+TEST(Properties, BaseClassAccessByIndex)
+{
+    PropertyRegistry reg(10);
+    reg.create<double>("first");
+    reg.create<std::int8_t>("second");
+    EXPECT_EQ(reg.numProps(), 2u);
+    EXPECT_EQ(reg.prop(0).name(), "first");
+    EXPECT_EQ(reg.prop(1).typeSize(), 1u);
+}
+
+} // namespace
+} // namespace omega

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the offline reordering algorithms (paper section VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hh"
+#include "graph/degree_stats.hh"
+#include "graph/generators.hh"
+#include "graph/reorder.hh"
+#include "util/rng.hh"
+
+namespace omega {
+namespace {
+
+Graph
+powerLawGraph(std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    EdgeList edges = generateRmat(11, 10, rng);
+    return buildGraph(1 << 11, std::move(edges));
+}
+
+bool
+isPermutation(const std::vector<VertexId> &perm)
+{
+    std::vector<bool> seen(perm.size(), false);
+    for (VertexId p : perm) {
+        if (p >= perm.size() || seen[p])
+            return false;
+        seen[p] = true;
+    }
+    return true;
+}
+
+class ReorderPermutationTest
+    : public ::testing::TestWithParam<ReorderKind>
+{
+};
+
+TEST_P(ReorderPermutationTest, ProducesValidPermutation)
+{
+    Graph g = powerLawGraph();
+    const auto perm = buildReorderPermutation(g, GetParam());
+    ASSERT_EQ(perm.size(), g.numVertices());
+    EXPECT_TRUE(isPermutation(perm));
+}
+
+TEST_P(ReorderPermutationTest, ReorderedGraphIsValid)
+{
+    Graph g = powerLawGraph();
+    Graph r = reorderGraph(g, GetParam());
+    EXPECT_TRUE(r.validate());
+    EXPECT_EQ(r.numArcs(), g.numArcs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ReorderPermutationTest,
+    ::testing::Values(ReorderKind::Identity, ReorderKind::InDegreeSort,
+                      ReorderKind::InDegreeTopSort,
+                      ReorderKind::InDegreeNthElement,
+                      ReorderKind::OutDegreeSort,
+                      ReorderKind::SlashburnLite, ReorderKind::Random),
+    [](const auto &info) {
+        std::string name = reorderKindName(info.param);
+        for (auto &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+TEST(Reorder, InDegreeSortIsMonotonic)
+{
+    Graph g = powerLawGraph();
+    Graph r = reorderGraph(g, ReorderKind::InDegreeSort);
+    for (VertexId v = 1; v < r.numVertices(); ++v)
+        EXPECT_GE(r.inDegree(v - 1), r.inDegree(v));
+}
+
+TEST(Reorder, NthElementPartitionsHotSet)
+{
+    Graph g = powerLawGraph();
+    Graph r = reorderGraph(g, ReorderKind::InDegreeNthElement, 0.2);
+    const auto k = static_cast<VertexId>(0.2 * r.numVertices());
+    // Every hot vertex has in-degree >= every cold vertex's.
+    EdgeId min_hot = ~EdgeId(0);
+    EdgeId max_cold = 0;
+    for (VertexId v = 0; v < k; ++v)
+        min_hot = std::min(min_hot, r.inDegree(v));
+    for (VertexId v = k; v < r.numVertices(); ++v)
+        max_cold = std::max(max_cold, r.inDegree(v));
+    EXPECT_GE(min_hot, max_cold);
+}
+
+TEST(Reorder, InDegreeImprovesPrefixCoverage)
+{
+    Graph g = reorderGraph(powerLawGraph(), ReorderKind::Random, 0.2, 99);
+    const double before = prefixInEdgeCoverage(g, 0.2);
+    Graph r = reorderGraph(g, ReorderKind::InDegreeNthElement);
+    const double after = prefixInEdgeCoverage(r, 0.2);
+    EXPECT_GT(after, before + 0.2);
+    // And it matches the graph's intrinsic connectivity.
+    EXPECT_NEAR(after, degreeConnectivity(r, true, 0.2), 1e-9);
+}
+
+TEST(Reorder, TopSortMatchesFullSortOnHotPrefix)
+{
+    Graph g = powerLawGraph();
+    Graph full = reorderGraph(g, ReorderKind::InDegreeSort);
+    Graph top = reorderGraph(g, ReorderKind::InDegreeTopSort, 0.2);
+    const auto k = static_cast<VertexId>(0.2 * g.numVertices());
+    for (VertexId v = 0; v < k; ++v)
+        EXPECT_EQ(top.inDegree(v), full.inDegree(v));
+}
+
+TEST(Reorder, SlashburnCoversLessThanInDegree)
+{
+    // The paper finds SlashBurn suboptimal for OMEGA: it clusters
+    // communities instead of ranking by popularity.
+    Graph g = powerLawGraph();
+    Graph by_degree = reorderGraph(g, ReorderKind::InDegreeNthElement);
+    Graph by_slash = reorderGraph(g, ReorderKind::SlashburnLite);
+    EXPECT_GE(prefixInEdgeCoverage(by_degree, 0.2),
+              prefixInEdgeCoverage(by_slash, 0.2));
+}
+
+TEST(Reorder, RandomIsSeedDeterministic)
+{
+    Graph g = powerLawGraph();
+    const auto a = buildReorderPermutation(g, ReorderKind::Random, 0.2, 5);
+    const auto b = buildReorderPermutation(g, ReorderKind::Random, 0.2, 5);
+    const auto c = buildReorderPermutation(g, ReorderKind::Random, 0.2, 6);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Reorder, IdentityKeepsIds)
+{
+    Graph g = powerLawGraph();
+    const auto perm = buildReorderPermutation(g, ReorderKind::Identity);
+    std::vector<VertexId> expect(g.numVertices());
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(perm, expect);
+}
+
+TEST(Reorder, KindNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (auto kind :
+         {ReorderKind::Identity, ReorderKind::InDegreeSort,
+          ReorderKind::InDegreeTopSort, ReorderKind::InDegreeNthElement,
+          ReorderKind::OutDegreeSort, ReorderKind::SlashburnLite,
+          ReorderKind::Random}) {
+        EXPECT_TRUE(names.insert(reorderKindName(kind)).second);
+    }
+}
+
+} // namespace
+} // namespace omega

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the scratchpad storage model and the scratchpad controller's
+ * monitor / partition / index units (paper Fig 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "omega/scratchpad.hh"
+#include "omega/scratchpad_controller.hh"
+#include "sim/access.hh"
+
+namespace omega {
+namespace {
+
+TEST(Scratchpad, LineCapacity)
+{
+    Scratchpad sp(1024 * 1024, 3);
+    EXPECT_EQ(sp.latency(), 3u);
+    // 9-byte lines (8 B prop + active byte): 116508 lines fit.
+    const VertexId lines = sp.setLineBytes(9);
+    EXPECT_EQ(lines, 1024u * 1024u / 9u);
+    EXPECT_EQ(sp.numLines(), lines);
+    EXPECT_EQ(sp.lineBytes(), 9u);
+}
+
+TEST(Scratchpad, AccessAccounting)
+{
+    Scratchpad sp(4096, 3);
+    sp.setLineBytes(8);
+    sp.recordRead(8);
+    sp.recordWrite(4);
+    sp.recordAtomic();
+    EXPECT_EQ(sp.reads(), 1u);
+    EXPECT_EQ(sp.writes(), 1u);
+    EXPECT_EQ(sp.atomics(), 1u);
+    EXPECT_EQ(sp.bytesRead(), 8u + 8u);
+    EXPECT_EQ(sp.bytesWritten(), 4u + 8u);
+    sp.reset();
+    EXPECT_EQ(sp.reads(), 0u);
+    EXPECT_EQ(sp.bytesRead(), 0u);
+}
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PropSpec p0;
+        p0.start_addr = 0x1000;
+        p0.type_size = 8;
+        p0.stride = 8;
+        p0.count = 1000;
+        PropSpec p1;
+        p1.start_addr = 0x10000;
+        p1.type_size = 4;
+        p1.stride = 4;
+        p1.count = 1000;
+        ctrl_.configure({p0, p1}, /*resident=*/600);
+    }
+
+    ScratchpadController ctrl_{4, 16};
+};
+
+TEST_F(ControllerTest, MonitorMatchesFirstProp)
+{
+    auto r = ctrl_.route(0x1000 + 8 * 5);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->vertex, 5u);
+    EXPECT_EQ(r->prop, 0u);
+}
+
+TEST_F(ControllerTest, MonitorMatchesSecondProp)
+{
+    auto r = ctrl_.route(0x10000 + 4 * 321);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->vertex, 321u);
+    EXPECT_EQ(r->prop, 1u);
+}
+
+TEST_F(ControllerTest, UnmonitoredAddressFallsThrough)
+{
+    EXPECT_FALSE(ctrl_.route(0x500).has_value());
+    EXPECT_FALSE(ctrl_.route(0x1000 + 8 * 1000).has_value()); // past count
+    EXPECT_FALSE(ctrl_.route(0x9999999).has_value());
+}
+
+TEST_F(ControllerTest, NonResidentVertexFallsThrough)
+{
+    // Vertex 700 is monitored but beyond the resident boundary.
+    EXPECT_FALSE(ctrl_.route(0x1000 + 8 * 700).has_value());
+    EXPECT_TRUE(ctrl_.isResident(599));
+    EXPECT_FALSE(ctrl_.isResident(600));
+}
+
+TEST_F(ControllerTest, StridedStructSkipsGaps)
+{
+    // A prop inside a struct: 4 valid bytes every 12.
+    PropSpec p;
+    p.start_addr = 0x2000;
+    p.type_size = 4;
+    p.stride = 12;
+    p.count = 100;
+    ScratchpadController c(4, 16);
+    c.configure({p}, 100);
+    EXPECT_TRUE(c.route(0x2000 + 12 * 3).has_value());
+    EXPECT_TRUE(c.route(0x2000 + 12 * 3 + 3).has_value());
+    // Offset 4..11 within the stride belongs to other struct fields.
+    EXPECT_FALSE(c.route(0x2000 + 12 * 3 + 4).has_value());
+    EXPECT_FALSE(c.route(0x2000 + 12 * 3 + 11).has_value());
+}
+
+TEST_F(ControllerTest, PartitionInterleavesByChunk)
+{
+    // chunk=16 over 4 scratchpads: vertices 0-15 -> sp0, 16-31 -> sp1...
+    EXPECT_EQ(ctrl_.homeOf(0), 0u);
+    EXPECT_EQ(ctrl_.homeOf(15), 0u);
+    EXPECT_EQ(ctrl_.homeOf(16), 1u);
+    EXPECT_EQ(ctrl_.homeOf(63), 3u);
+    EXPECT_EQ(ctrl_.homeOf(64), 0u); // wraps around
+}
+
+TEST_F(ControllerTest, IndexUnitLineNumbers)
+{
+    // Vertex 64 is the first vertex of sp0's second chunk.
+    EXPECT_EQ(ctrl_.lineOf(0), 0u);
+    EXPECT_EQ(ctrl_.lineOf(15), 15u);
+    EXPECT_EQ(ctrl_.lineOf(16), 0u);  // first line of sp1
+    EXPECT_EQ(ctrl_.lineOf(64), 16u); // sp0, second chunk
+    EXPECT_EQ(ctrl_.lineOf(65), 17u);
+}
+
+TEST_F(ControllerTest, RouteFillsHomeAndLine)
+{
+    auto r = ctrl_.route(0x1000 + 8 * 20);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->home, 1u);
+    EXPECT_EQ(r->line, 4u);
+}
+
+TEST_F(ControllerTest, AtomicBlockingSerializesSameVertex)
+{
+    // Two atomics on the same vertex: the second waits.
+    const Cycles s1 = ctrl_.beginAtomic(7, 100, 5);
+    EXPECT_EQ(s1, 100u);
+    const Cycles s2 = ctrl_.beginAtomic(7, 102, 5);
+    EXPECT_EQ(s2, 105u);
+    EXPECT_EQ(ctrl_.conflicts(), 1u);
+    // A different vertex is unaffected.
+    EXPECT_EQ(ctrl_.beginAtomic(8, 102, 5), 102u);
+    EXPECT_EQ(ctrl_.conflicts(), 1u);
+}
+
+TEST_F(ControllerTest, VertexBusyWindow)
+{
+    ctrl_.beginAtomic(3, 50, 10);
+    EXPECT_TRUE(ctrl_.isVertexBusy(3, 55));
+    EXPECT_FALSE(ctrl_.isVertexBusy(3, 60));
+    EXPECT_FALSE(ctrl_.isVertexBusy(4, 55));
+}
+
+TEST_F(ControllerTest, ResetClearsBusyAndConflicts)
+{
+    ctrl_.beginAtomic(3, 50, 10);
+    ctrl_.beginAtomic(3, 51, 10);
+    EXPECT_EQ(ctrl_.conflicts(), 1u);
+    ctrl_.reset();
+    EXPECT_EQ(ctrl_.conflicts(), 0u);
+    EXPECT_FALSE(ctrl_.isVertexBusy(3, 55));
+}
+
+TEST(Controller, OverlappingRangesFirstMatchWins)
+{
+    PropSpec a;
+    a.start_addr = 0x1000;
+    a.type_size = 8;
+    a.stride = 8;
+    a.count = 10;
+    PropSpec b;
+    b.start_addr = 0x1000;
+    b.type_size = 8;
+    b.stride = 8;
+    b.count = 20;
+    ScratchpadController c(2, 4);
+    c.configure({a, b}, 20);
+    auto r = c.route(0x1000);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->prop, 0u);
+}
+
+} // namespace
+} // namespace omega

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for StatsReport accumulation/dump and the derived metrics the
+ * bench harnesses depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats_report.hh"
+
+namespace omega {
+namespace {
+
+StatsReport
+sample()
+{
+    StatsReport r;
+    r.cycles = 2'000'000;
+    r.instructions = 800'000;
+    r.l1_accesses = 1'000'000;
+    r.l1_hits = 700'000;
+    r.l2_accesses = 300'000;
+    r.l2_hits = 150'000;
+    r.sp_accesses = 50'000;
+    r.dram_read_bytes = 12'000'000;
+    r.dram_write_bytes = 4'000'000;
+    r.compute_cycles = 100'000;
+    r.mem_stall_cycles = 500'000;
+    r.atomic_stall_cycles = 300'000;
+    r.sync_stall_cycles = 100'000;
+    r.vtxprop_accesses = 400'000;
+    r.vtxprop_hot_accesses = 300'000;
+    return r;
+}
+
+TEST(StatsReport, HitRates)
+{
+    const StatsReport r = sample();
+    EXPECT_DOUBLE_EQ(r.l1HitRate(), 0.7);
+    EXPECT_DOUBLE_EQ(r.l2HitRate(), 0.5);
+    // Last-level storage counts scratchpad accesses as hits.
+    EXPECT_DOUBLE_EQ(r.lastLevelHitRate(),
+                     (150'000.0 + 50'000.0) / 350'000.0);
+}
+
+TEST(StatsReport, HitRatesZeroSafe)
+{
+    StatsReport r;
+    EXPECT_DOUBLE_EQ(r.l1HitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(r.lastLevelHitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(r.dramBandwidthGBs(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(r.memoryBoundFraction(), 0.0);
+}
+
+TEST(StatsReport, BandwidthMath)
+{
+    const StatsReport r = sample();
+    // 16 MB over 1 ms (2M cycles at 2 GHz) = 16 GB/s.
+    EXPECT_NEAR(r.dramBandwidthGBs(2.0), 16.0, 0.1);
+    MachineParams p = MachineParams::baseline(); // 4 x 12 GB/s peak
+    EXPECT_NEAR(r.dramBandwidthUtilization(p), 16.0 / 48.0, 0.01);
+}
+
+TEST(StatsReport, MemoryBoundFraction)
+{
+    const StatsReport r = sample();
+    EXPECT_DOUBLE_EQ(r.memoryBoundFraction(), 800'000.0 / 1'000'000.0);
+}
+
+TEST(StatsReport, HotFraction)
+{
+    const StatsReport r = sample();
+    EXPECT_DOUBLE_EQ(r.hotVertexAccessFraction(), 0.75);
+}
+
+TEST(StatsReport, AccumulateSumsCountersNotCycles)
+{
+    StatsReport a = sample();
+    const StatsReport b = sample();
+    a.accumulate(b);
+    EXPECT_EQ(a.l1_accesses, 2'000'000u);
+    EXPECT_EQ(a.dram_read_bytes, 24'000'000u);
+    EXPECT_EQ(a.vtxprop_hot_accesses, 600'000u);
+    // cycles is a time, not a counter: accumulate leaves it alone.
+    EXPECT_EQ(a.cycles, 2'000'000u);
+}
+
+TEST(StatsReport, DumpContainsEveryHeadlineCounter)
+{
+    std::ostringstream os;
+    sample().dump(os, "m");
+    const std::string out = os.str();
+    for (const char *key :
+         {"m.cycles", "m.l1_accesses", "m.l2_hits", "m.sp_accesses",
+          "m.dram_read_bytes", "m.atomics_total", "m.mem_stall_cycles",
+          "m.vtxprop_hot_accesses", "m.onchip_bytes"}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(StatsReport, DumpIsMachineParsable)
+{
+    std::ostringstream os;
+    sample().dump(os, "sim");
+    std::istringstream is(os.str());
+    std::string name;
+    std::uint64_t value;
+    int lines = 0;
+    while (is >> name >> value) {
+        ++lines;
+        EXPECT_EQ(name.rfind("sim.", 0), 0u) << name;
+    }
+    EXPECT_GT(lines, 25);
+}
+
+} // namespace
+} // namespace omega

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the translation layer: update-function descriptors, the
+ * microcode compiler and the generated configuration/offload code
+ * (paper section V.F, Figs 10 & 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.hh"
+#include "algorithms/pagerank.hh"
+#include "algorithms/radii.hh"
+#include "algorithms/sssp.hh"
+#include "translate/codegen.hh"
+#include "translate/microcode_compiler.hh"
+#include "translate/update_fn.hh"
+
+namespace omega {
+namespace {
+
+TEST(UpdateFn, AluOpNamesMatchTable2)
+{
+    EXPECT_EQ(piscAluOpName(PiscAluOp::FpAdd), "fp add");
+    EXPECT_EQ(piscAluOpName(PiscAluOp::UnsignedComp), "unsigned comp.");
+    EXPECT_EQ(piscAluOpName(PiscAluOp::SignedMin), "signed min");
+    EXPECT_EQ(piscAluOpName(PiscAluOp::SignedAdd), "signed add");
+    EXPECT_EQ(piscAluOpName(PiscAluOp::BitOr), "or");
+    EXPECT_EQ(piscAluOpName(PiscAluOp::BoolComp), "bool comp.");
+}
+
+TEST(Compiler, PageRankProgramShape)
+{
+    const PiscProgram prog = compileUpdateFn(pageRankUpdateFn(), 1);
+    // read_line, alu.fadd, write_prop, done.
+    ASSERT_EQ(prog.code.size(), 4u);
+    EXPECT_EQ(prog.code[0], MicroOp::ReadLine);
+    EXPECT_EQ(prog.code[1], MicroOp::AluFpAdd);
+    EXPECT_EQ(prog.code[2], MicroOp::WriteProp);
+    EXPECT_EQ(prog.code[3], MicroOp::Done);
+    EXPECT_EQ(prog.cycles(), 3u);
+    EXPECT_EQ(prog.id, 1u);
+}
+
+TEST(Compiler, BfsProgramHasConditionalAndActivation)
+{
+    const PiscProgram prog = compileUpdateFn(bfsUpdateFn(), 2);
+    // read, alu.ucomp, cond_skip, write, set_active, append_sparse, done.
+    std::vector<MicroOp> expect{
+        MicroOp::ReadLine,  MicroOp::AluUComp,
+        MicroOp::CondSkip,  MicroOp::WriteProp,
+        MicroOp::SetActive, MicroOp::AppendSparse,
+        MicroOp::Done};
+    EXPECT_EQ(prog.code, expect);
+}
+
+TEST(Compiler, SsspProgramHasTwoSteps)
+{
+    const PiscProgram prog = compileUpdateFn(ssspUpdateFn(), 3);
+    // One ReadLine serves both steps (the line holds all props).
+    int reads = 0;
+    int writes = 0;
+    for (MicroOp op : prog.code) {
+        reads += (op == MicroOp::ReadLine);
+        writes += (op == MicroOp::WriteProp);
+    }
+    EXPECT_EQ(reads, 1);
+    EXPECT_EQ(writes, 2);
+    EXPECT_GE(prog.cycles(), 6u);
+}
+
+TEST(Compiler, RadiiUsesOrAndMin)
+{
+    const PiscProgram prog = compileUpdateFn(radiiUpdateFn(), 4);
+    bool has_or = false;
+    bool has_min = false;
+    for (MicroOp op : prog.code) {
+        has_or |= (op == MicroOp::AluBitOr);
+        has_min |= (op == MicroOp::AluSMin);
+    }
+    EXPECT_TRUE(has_or);
+    EXPECT_TRUE(has_min);
+}
+
+TEST(Compiler, DisassembleListsMnemonics)
+{
+    const std::string d = disassemble(compileUpdateFn(bfsUpdateFn(), 7));
+    EXPECT_NE(d.find("bfs-update"), std::string::npos);
+    EXPECT_NE(d.find("alu.ucomp"), std::string::npos);
+    EXPECT_NE(d.find("set_active"), std::string::npos);
+}
+
+MachineConfig
+sampleConfig()
+{
+    PropSpec p;
+    p.start_addr = 0x20000000;
+    p.type_size = 8;
+    p.stride = 8;
+    p.count = 1000;
+    return buildMachineConfig(1000, {p}, pageRankUpdateFn(), 0x30000000,
+                              0x30001000, 0x30002000, 200);
+}
+
+TEST(Codegen, MachineConfigFields)
+{
+    const MachineConfig c = sampleConfig();
+    EXPECT_EQ(c.num_vertices, 1000u);
+    ASSERT_EQ(c.props.size(), 1u);
+    EXPECT_EQ(c.props[0].type_size, 8u);
+    EXPECT_EQ(c.hot_boundary, 200u);
+    EXPECT_EQ(c.microcode_cycles,
+              compileUpdateFn(pageRankUpdateFn(), 1).cycles());
+}
+
+TEST(Codegen, ConfigCodeWritesMonitorRegisters)
+{
+    const std::string code =
+        generateConfigCode(sampleConfig(), pageRankUpdateFn());
+    EXPECT_NE(code.find("PROP0_START"), std::string::npos);
+    EXPECT_NE(code.find("0x20000000"), std::string::npos);
+    EXPECT_NE(code.find("PROP0_STRIDE"), std::string::npos);
+    EXPECT_NE(code.find("OPTYPE"), std::string::npos);
+    EXPECT_NE(code.find("fp add"), std::string::npos);
+    EXPECT_NE(code.find("MCODE_BASE"), std::string::npos);
+    EXPECT_NE(code.find("NUM_VERTICES"), std::string::npos);
+}
+
+TEST(Codegen, OffloadCodeIsStoreSequence)
+{
+    // Fig 13: the translated update function is two memory-mapped stores.
+    const std::string code = generateOffloadCode(ssspUpdateFn());
+    EXPECT_NE(code.find("OMEGA_MMR[1]"), std::string::npos);
+    EXPECT_NE(code.find("OMEGA_MMR[2]"), std::string::npos);
+    EXPECT_NE(code.find("src_data"), std::string::npos);
+}
+
+TEST(Codegen, OffloadCodeWithoutSrcRead)
+{
+    const std::string code = generateOffloadCode(pageRankUpdateFn());
+    EXPECT_EQ(code.find("src_data"), std::string::npos);
+}
+
+} // namespace
+} // namespace omega

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the util module: RNG, stats, tables, strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/string_utils.hh"
+#include "util/table.hh"
+
+namespace omega {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextBounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BoundedCoversRange)
+{
+    Rng rng(7);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.nextBounded(8)];
+    for (int c : seen)
+        EXPECT_GT(c, 800); // roughly uniform
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(9);
+    int trues = 0;
+    for (int i = 0; i < 10000; ++i)
+        trues += rng.nextBool(0.3);
+    EXPECT_NEAR(trues / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ParetoAboveMinimum)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.nextPareto(2.0, 1.5), 1.5);
+}
+
+TEST(Rng, WorksWithStdShuffle)
+{
+    Rng rng(11);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::shuffle(v.begin(), v.end(), rng);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BasicMoments)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0);
+    h.sample(10.5);
+    h.sample(3.5);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+}
+
+TEST(Histogram, QuantileApproximation)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.sample(0.5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+}
+
+TEST(StatGroup, DumpAndLookup)
+{
+    StatGroup root("machine");
+    Counter c;
+    c += 42;
+    double util = 0.5;
+    root.addCounter("accesses", &c, "number of accesses");
+    root.addScalar("utilization", &util);
+
+    StatGroup child("l2");
+    Counter hits;
+    hits += 7;
+    child.addCounter("hits", &hits);
+    root.addChild(&child);
+
+    std::ostringstream os;
+    root.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("machine.accesses"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("machine.l2.hits"), std::string::npos);
+    EXPECT_NE(out.find("# number of accesses"), std::string::npos);
+
+    EXPECT_DOUBLE_EQ(root.lookup("accesses"), 42.0);
+    EXPECT_DOUBLE_EQ(root.lookup("l2.hits"), 7.0);
+    EXPECT_TRUE(std::isnan(root.lookup("nope")));
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(std::uint64_t(10));
+    t.row().cell("b").cell(3.14159, 2);
+    EXPECT_EQ(t.numRows(), 2u);
+    EXPECT_EQ(t.at(1, 1), "3.14");
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesCommas)
+{
+    Table t({"a", "b"});
+    t.row().cell("x,y").cell("plain");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Formatters, Helpers)
+{
+    EXPECT_EQ(formatDouble(1.005, 1), "1.0");
+    EXPECT_EQ(formatSpeedup(2.0), "2.00x");
+    EXPECT_EQ(formatPercent(0.421, 1), "42.1%");
+    EXPECT_EQ(formatBytes(1024), "1KB");
+    EXPECT_EQ(formatBytes(16ull * 1024 * 1024), "16MB");
+    EXPECT_EQ(formatBytes(1536), "1.5KB");
+}
+
+TEST(Strings, SplitTrimJoin)
+{
+    EXPECT_EQ(split("a,b,,c", ','),
+              (std::vector<std::string>{"a", "b", "", "c"}));
+    EXPECT_EQ(trim("  hi \t"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_EQ(toLower("AbC"), "abc");
+    EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+}
+
+} // namespace
+} // namespace omega

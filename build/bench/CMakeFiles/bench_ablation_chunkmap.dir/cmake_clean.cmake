@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chunkmap.dir/bench_ablation_chunkmap.cc.o"
+  "CMakeFiles/bench_ablation_chunkmap.dir/bench_ablation_chunkmap.cc.o.d"
+  "bench_ablation_chunkmap"
+  "bench_ablation_chunkmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chunkmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sponly.dir/bench_ablation_sponly.cc.o"
+  "CMakeFiles/bench_ablation_sponly.dir/bench_ablation_sponly.cc.o.d"
+  "bench_ablation_sponly"
+  "bench_ablation_sponly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sponly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lockedline.dir/bench_ext_lockedline.cc.o"
+  "CMakeFiles/bench_ext_lockedline.dir/bench_ext_lockedline.cc.o.d"
+  "bench_ext_lockedline"
+  "bench_ext_lockedline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lockedline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

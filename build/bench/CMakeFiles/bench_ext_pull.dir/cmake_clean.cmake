@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pull.dir/bench_ext_pull.cc.o"
+  "CMakeFiles/bench_ext_pull.dir/bench_ext_pull.cc.o.d"
+  "bench_ext_pull"
+  "bench_ext_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

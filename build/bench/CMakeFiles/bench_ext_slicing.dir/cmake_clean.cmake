@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_slicing.dir/bench_ext_slicing.cc.o"
+  "CMakeFiles/bench_ext_slicing.dir/bench_ext_slicing.cc.o.d"
+  "bench_ext_slicing"
+  "bench_ext_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

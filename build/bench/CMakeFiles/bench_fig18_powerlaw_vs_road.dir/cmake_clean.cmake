@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_powerlaw_vs_road.dir/bench_fig18_powerlaw_vs_road.cc.o"
+  "CMakeFiles/bench_fig18_powerlaw_vs_road.dir/bench_fig18_powerlaw_vs_road.cc.o.d"
+  "bench_fig18_powerlaw_vs_road"
+  "bench_fig18_powerlaw_vs_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_powerlaw_vs_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

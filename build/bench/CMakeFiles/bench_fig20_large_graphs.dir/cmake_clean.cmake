@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_large_graphs.dir/bench_fig20_large_graphs.cc.o"
+  "CMakeFiles/bench_fig20_large_graphs.dir/bench_fig20_large_graphs.cc.o.d"
+  "bench_fig20_large_graphs"
+  "bench_fig20_large_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_large_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

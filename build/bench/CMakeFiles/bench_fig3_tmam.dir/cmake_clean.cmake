@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_tmam.dir/bench_fig3_tmam.cc.o"
+  "CMakeFiles/bench_fig3_tmam.dir/bench_fig3_tmam.cc.o.d"
+  "bench_fig3_tmam"
+  "bench_fig3_tmam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tmam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_heatmap.dir/bench_fig5_heatmap.cc.o"
+  "CMakeFiles/bench_fig5_heatmap.dir/bench_fig5_heatmap.cc.o.d"
+  "bench_fig5_heatmap"
+  "bench_fig5_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_sim.dir/omega_sim.cpp.o"
+  "CMakeFiles/omega_sim.dir/omega_sim.cpp.o.d"
+  "omega_sim"
+  "omega_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_interactions.dir/protein_interactions.cpp.o"
+  "CMakeFiles/protein_interactions.dir/protein_interactions.cpp.o.d"
+  "protein_interactions"
+  "protein_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

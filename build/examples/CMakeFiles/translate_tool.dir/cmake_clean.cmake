@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_tool.dir/translate_tool.cpp.o"
+  "CMakeFiles/translate_tool.dir/translate_tool.cpp.o.d"
+  "translate_tool"
+  "translate_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/algorithms.cc" "src/CMakeFiles/omega.dir/algorithms/algorithms.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/algorithms.cc.o.d"
+  "/root/repo/src/algorithms/bc.cc" "src/CMakeFiles/omega.dir/algorithms/bc.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/bc.cc.o.d"
+  "/root/repo/src/algorithms/bfs.cc" "src/CMakeFiles/omega.dir/algorithms/bfs.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/bfs.cc.o.d"
+  "/root/repo/src/algorithms/components.cc" "src/CMakeFiles/omega.dir/algorithms/components.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/components.cc.o.d"
+  "/root/repo/src/algorithms/kcore.cc" "src/CMakeFiles/omega.dir/algorithms/kcore.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/kcore.cc.o.d"
+  "/root/repo/src/algorithms/pagerank.cc" "src/CMakeFiles/omega.dir/algorithms/pagerank.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/pagerank.cc.o.d"
+  "/root/repo/src/algorithms/radii.cc" "src/CMakeFiles/omega.dir/algorithms/radii.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/radii.cc.o.d"
+  "/root/repo/src/algorithms/reference.cc" "src/CMakeFiles/omega.dir/algorithms/reference.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/reference.cc.o.d"
+  "/root/repo/src/algorithms/sssp.cc" "src/CMakeFiles/omega.dir/algorithms/sssp.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/sssp.cc.o.d"
+  "/root/repo/src/algorithms/triangle.cc" "src/CMakeFiles/omega.dir/algorithms/triangle.cc.o" "gcc" "src/CMakeFiles/omega.dir/algorithms/triangle.cc.o.d"
+  "/root/repo/src/framework/engine.cc" "src/CMakeFiles/omega.dir/framework/engine.cc.o" "gcc" "src/CMakeFiles/omega.dir/framework/engine.cc.o.d"
+  "/root/repo/src/framework/properties.cc" "src/CMakeFiles/omega.dir/framework/properties.cc.o" "gcc" "src/CMakeFiles/omega.dir/framework/properties.cc.o.d"
+  "/root/repo/src/framework/scheduler.cc" "src/CMakeFiles/omega.dir/framework/scheduler.cc.o" "gcc" "src/CMakeFiles/omega.dir/framework/scheduler.cc.o.d"
+  "/root/repo/src/framework/vertex_subset.cc" "src/CMakeFiles/omega.dir/framework/vertex_subset.cc.o" "gcc" "src/CMakeFiles/omega.dir/framework/vertex_subset.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/omega.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/omega.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/omega.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/omega.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/degree_stats.cc" "src/CMakeFiles/omega.dir/graph/degree_stats.cc.o" "gcc" "src/CMakeFiles/omega.dir/graph/degree_stats.cc.o.d"
+  "/root/repo/src/graph/dynamic.cc" "src/CMakeFiles/omega.dir/graph/dynamic.cc.o" "gcc" "src/CMakeFiles/omega.dir/graph/dynamic.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/omega.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/omega.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/omega.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/omega.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/omega.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/omega.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/reorder.cc" "src/CMakeFiles/omega.dir/graph/reorder.cc.o" "gcc" "src/CMakeFiles/omega.dir/graph/reorder.cc.o.d"
+  "/root/repo/src/graph/slicing.cc" "src/CMakeFiles/omega.dir/graph/slicing.cc.o" "gcc" "src/CMakeFiles/omega.dir/graph/slicing.cc.o.d"
+  "/root/repo/src/model/area_power.cc" "src/CMakeFiles/omega.dir/model/area_power.cc.o" "gcc" "src/CMakeFiles/omega.dir/model/area_power.cc.o.d"
+  "/root/repo/src/model/energy_model.cc" "src/CMakeFiles/omega.dir/model/energy_model.cc.o" "gcc" "src/CMakeFiles/omega.dir/model/energy_model.cc.o.d"
+  "/root/repo/src/model/highlevel_model.cc" "src/CMakeFiles/omega.dir/model/highlevel_model.cc.o" "gcc" "src/CMakeFiles/omega.dir/model/highlevel_model.cc.o.d"
+  "/root/repo/src/omega/omega_machine.cc" "src/CMakeFiles/omega.dir/omega/omega_machine.cc.o" "gcc" "src/CMakeFiles/omega.dir/omega/omega_machine.cc.o.d"
+  "/root/repo/src/omega/pisc.cc" "src/CMakeFiles/omega.dir/omega/pisc.cc.o" "gcc" "src/CMakeFiles/omega.dir/omega/pisc.cc.o.d"
+  "/root/repo/src/omega/scratchpad.cc" "src/CMakeFiles/omega.dir/omega/scratchpad.cc.o" "gcc" "src/CMakeFiles/omega.dir/omega/scratchpad.cc.o.d"
+  "/root/repo/src/omega/scratchpad_controller.cc" "src/CMakeFiles/omega.dir/omega/scratchpad_controller.cc.o" "gcc" "src/CMakeFiles/omega.dir/omega/scratchpad_controller.cc.o.d"
+  "/root/repo/src/omega/source_vertex_buffer.cc" "src/CMakeFiles/omega.dir/omega/source_vertex_buffer.cc.o" "gcc" "src/CMakeFiles/omega.dir/omega/source_vertex_buffer.cc.o.d"
+  "/root/repo/src/sim/baseline_machine.cc" "src/CMakeFiles/omega.dir/sim/baseline_machine.cc.o" "gcc" "src/CMakeFiles/omega.dir/sim/baseline_machine.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/omega.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/omega.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/coherence.cc" "src/CMakeFiles/omega.dir/sim/coherence.cc.o" "gcc" "src/CMakeFiles/omega.dir/sim/coherence.cc.o.d"
+  "/root/repo/src/sim/core_model.cc" "src/CMakeFiles/omega.dir/sim/core_model.cc.o" "gcc" "src/CMakeFiles/omega.dir/sim/core_model.cc.o.d"
+  "/root/repo/src/sim/crossbar.cc" "src/CMakeFiles/omega.dir/sim/crossbar.cc.o" "gcc" "src/CMakeFiles/omega.dir/sim/crossbar.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/CMakeFiles/omega.dir/sim/dram.cc.o" "gcc" "src/CMakeFiles/omega.dir/sim/dram.cc.o.d"
+  "/root/repo/src/sim/params.cc" "src/CMakeFiles/omega.dir/sim/params.cc.o" "gcc" "src/CMakeFiles/omega.dir/sim/params.cc.o.d"
+  "/root/repo/src/sim/stats_report.cc" "src/CMakeFiles/omega.dir/sim/stats_report.cc.o" "gcc" "src/CMakeFiles/omega.dir/sim/stats_report.cc.o.d"
+  "/root/repo/src/translate/codegen.cc" "src/CMakeFiles/omega.dir/translate/codegen.cc.o" "gcc" "src/CMakeFiles/omega.dir/translate/codegen.cc.o.d"
+  "/root/repo/src/translate/microcode_compiler.cc" "src/CMakeFiles/omega.dir/translate/microcode_compiler.cc.o" "gcc" "src/CMakeFiles/omega.dir/translate/microcode_compiler.cc.o.d"
+  "/root/repo/src/translate/update_fn.cc" "src/CMakeFiles/omega.dir/translate/update_fn.cc.o" "gcc" "src/CMakeFiles/omega.dir/translate/update_fn.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/omega.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/omega.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/omega.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/omega.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/omega.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/omega.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/string_utils.cc" "src/CMakeFiles/omega.dir/util/string_utils.cc.o" "gcc" "src/CMakeFiles/omega.dir/util/string_utils.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/omega.dir/util/table.cc.o" "gcc" "src/CMakeFiles/omega.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

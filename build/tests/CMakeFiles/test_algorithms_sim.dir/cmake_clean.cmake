@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms_sim.dir/test_algorithms_sim.cc.o"
+  "CMakeFiles/test_algorithms_sim.dir/test_algorithms_sim.cc.o.d"
+  "test_algorithms_sim"
+  "test_algorithms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_crossbar.dir/test_dram_crossbar.cc.o"
+  "CMakeFiles/test_dram_crossbar.dir/test_dram_crossbar.cc.o.d"
+  "test_dram_crossbar"
+  "test_dram_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_tasks.dir/test_engine_tasks.cc.o"
+  "CMakeFiles/test_engine_tasks.dir/test_engine_tasks.cc.o.d"
+  "test_engine_tasks"
+  "test_engine_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pisc.dir/test_pisc.cc.o"
+  "CMakeFiles/test_pisc.dir/test_pisc.cc.o.d"
+  "test_pisc"
+  "test_pisc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pisc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetch_dram.dir/test_prefetch_dram.cc.o"
+  "CMakeFiles/test_prefetch_dram.dir/test_prefetch_dram.cc.o.d"
+  "test_prefetch_dram"
+  "test_prefetch_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetch_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

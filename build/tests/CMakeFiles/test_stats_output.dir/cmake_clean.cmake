@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_output.dir/test_stats_output.cc.o"
+  "CMakeFiles/test_stats_output.dir/test_stats_output.cc.o.d"
+  "test_stats_output"
+  "test_stats_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

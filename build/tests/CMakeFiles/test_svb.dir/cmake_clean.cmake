@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_svb.dir/test_svb.cc.o"
+  "CMakeFiles/test_svb.dir/test_svb.cc.o.d"
+  "test_svb"
+  "test_svb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_svb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "util/check.hh"
+
 namespace omega {
 
 void
@@ -17,6 +19,8 @@ Pisc::loadMicrocode(std::uint16_t program_id, Cycles program_cycles,
     program_cycles_ = std::max<Cycles>(program_cycles, 1);
     initiation_ = initiation == 0 ? program_cycles_
                                   : std::min(initiation, program_cycles_);
+    omega_check(initiation_ >= 1 && initiation_ <= program_cycles_,
+                "initiation interval must be within 1..program_cycles");
 }
 
 Cycles
@@ -25,10 +29,17 @@ Pisc::execute(Cycles start)
     // Serialize behind any in-flight initiation on this engine.
     const Cycles actual_start = std::max(start, busy_until_);
     queue_cycles_ += actual_start - start;
+    [[maybe_unused]] const Cycles prev_busy_until = busy_until_;
     busy_until_ = actual_start + initiation_;
     last_completion_ = actual_start + program_cycles_;
     ++ops_;
     busy_cycles_ += initiation_;
+    // Pipelined initiation must never travel backwards in time, and an
+    // op cannot complete before its engine frees the issue slot.
+    omega_check(busy_until_ > prev_busy_until,
+                "PISC busy horizon moved backwards");
+    omega_check(last_completion_ >= busy_until_,
+                "PISC op completes before its initiation interval ends");
     return last_completion_;
 }
 

@@ -17,6 +17,7 @@
 
 #include "graph/types.hh"
 #include "sim/params.hh"
+#include "util/check.hh"
 
 namespace omega {
 
@@ -45,12 +46,16 @@ class Scratchpad
     /** Record a read of @p bytes. */
     void recordRead(std::uint32_t bytes)
     {
+        omega_check(bytes > 0 && bytes <= line_bytes_,
+                    "scratchpad read larger than one vertex line");
         ++reads_;
         bytes_read_ += bytes;
     }
     /** Record a write of @p bytes. */
     void recordWrite(std::uint32_t bytes)
     {
+        omega_check(bytes > 0 && bytes <= line_bytes_,
+                    "scratchpad write larger than one vertex line");
         ++writes_;
         bytes_written_ += bytes;
     }

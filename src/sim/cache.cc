@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace omega {
@@ -49,6 +50,17 @@ CacheArray::access(std::uint64_t addr)
     CacheLine *set = &lines_[setOf(addr) * ways_];
     CacheAccessResult res;
 
+    if constexpr (kInvariantChecksEnabled) {
+        // A tag may occupy at most one way of its set; a duplicate means
+        // a fill skipped the lookup path.
+        unsigned matches = 0;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (set[w].state != LineState::Invalid && set[w].tag == tag)
+                ++matches;
+        }
+        omega_check(matches <= 1, "duplicate tag within one cache set");
+    }
+
     CacheLine *victim = &set[0];
     for (unsigned w = 0; w < ways_; ++w) {
         CacheLine &line = set[w];
@@ -70,6 +82,10 @@ CacheArray::access(std::uint64_t addr)
         res.evicted = true;
         res.victim_addr = victim->tag * line_bytes_;
         res.victim = *victim;
+        omega_check(setOf(res.victim_addr) == setOf(addr),
+                    "evicted a line from a foreign set");
+        omega_check(victim->tag != tag,
+                    "evicting the line being accessed");
     }
     *victim = CacheLine{};
     victim->tag = tag;

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "util/check.hh"
+
 namespace omega {
 
 CoreModel::CoreModel(const MachineParams &params)
@@ -23,6 +25,8 @@ CoreModel::compute(std::uint64_t ops)
     op_residue_ %= issue_width_;
     clock_ += cycles;
     compute_cycles_ += cycles;
+    omega_check(op_residue_ < issue_width_,
+                "instruction residue must stay below the issue width");
 }
 
 void
@@ -43,6 +47,12 @@ CoreModel::stallUntil(Cycles t, StallKind kind)
         sync_stall_cycles_ += stall;
         break;
     }
+    // The clock only ever advances by attributed cycles, so the buckets
+    // must reconstruct it exactly — a broken stall attribution shows up
+    // here at the first mischarged cycle, not in the end-of-run report.
+    omega_check(clock_ == compute_cycles_ + mem_stall_cycles_ +
+                              atomic_stall_cycles_ + sync_stall_cycles_,
+                "core clock diverged from its stall-bucket decomposition");
 }
 
 void
@@ -54,6 +64,9 @@ CoreModel::prepareIssue(StallKind kind)
         while (!inflight_.empty() && inflight_.top() <= clock_)
             inflight_.pop();
     }
+    omega_check(inflight_.size() < mshrs_,
+                "overlap window still full after stalling for the "
+                "oldest miss");
 }
 
 void
@@ -88,7 +101,10 @@ void
 CoreModel::syncTo(Cycles t)
 {
     drain();
+    omega_check(inflight_.empty(),
+                "outstanding misses survived the pre-barrier drain");
     stallUntil(t, StallKind::Sync);
+    omega_check(clock_ >= t, "core clock behind the barrier time");
 }
 
 void

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Capture implementation.
+ */
+
+#include "testing/capture.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "algorithms/bc.hh"
+#include "algorithms/bfs.hh"
+#include "algorithms/components.hh"
+#include "algorithms/kcore.hh"
+#include "algorithms/pagerank.hh"
+#include "algorithms/radii.hh"
+#include "algorithms/sssp.hh"
+#include "algorithms/triangle.hh"
+#include "util/logging.hh"
+
+namespace omega {
+namespace testing {
+
+namespace {
+
+bool
+hasArc(const Graph &g, VertexId src, VertexId dst)
+{
+    const auto nbrs = g.outNeighbors(src);
+    return std::find(nbrs.begin(), nbrs.end(), dst) != nbrs.end();
+}
+
+double
+bitsToDouble(std::uint64_t u)
+{
+    double d;
+    std::memcpy(&d, &u, sizeof(d));
+    return d;
+}
+
+} // namespace
+
+std::vector<std::int32_t>
+bfsDepths(const Graph &g, const std::vector<std::int32_t> &parent,
+          VertexId root)
+{
+    const VertexId n = g.numVertices();
+    std::vector<std::int32_t> depth(n, -1);
+    if (root < n)
+        depth[root] = 0;
+
+    for (VertexId v = 0; v < n; ++v) {
+        if (parent[v] == -1 || depth[v] != -1)
+            continue;
+        // Walk up the parent chain to a resolved vertex, bounded by n
+        // hops so malformed parent cycles terminate.
+        std::vector<VertexId> chain;
+        VertexId cur = v;
+        bool bad = false;
+        while (depth[cur] == -1) {
+            const std::int32_t p = parent[cur];
+            if (p < 0 || static_cast<VertexId>(p) >= n ||
+                static_cast<VertexId>(p) == cur ||
+                chain.size() > static_cast<std::size_t>(n)) {
+                bad = true;
+                break;
+            }
+            if (!hasArc(g, static_cast<VertexId>(p), cur)) {
+                depth[cur] = -3; // claimed parent edge does not exist
+                bad = true;
+                break;
+            }
+            chain.push_back(cur);
+            cur = static_cast<VertexId>(p);
+        }
+        std::int32_t d = bad ? -2 : depth[cur];
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            if (depth[*it] < 0)
+                depth[*it] = d < 0 ? d : ++d;
+        }
+    }
+    return depth;
+}
+
+std::uint64_t
+ulpDistance(double a, double b)
+{
+    if (a == b)
+        return 0; // also covers +0 / -0
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<std::uint64_t>::max();
+
+    // Map to a monotone integer line (sign-magnitude -> offset binary).
+    auto toOrdered = [](double d) {
+        std::int64_t i;
+        std::memcpy(&i, &d, sizeof(i));
+        return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+    };
+    const std::int64_t ia = toOrdered(a);
+    const std::int64_t ib = toOrdered(b);
+    return ia > ib ? static_cast<std::uint64_t>(ia) -
+                         static_cast<std::uint64_t>(ib)
+                   : static_cast<std::uint64_t>(ib) -
+                         static_cast<std::uint64_t>(ia);
+}
+
+AlgoCapture
+captureAlgorithm(AlgorithmKind kind, const Graph &g, MemorySystem *mach,
+                 EngineOptions opts, std::uint64_t seed)
+{
+    AlgoCapture cap;
+    cap.kind = kind;
+    const VertexId root = defaultRoot(g);
+
+    switch (kind) {
+      case AlgorithmKind::PageRank: {
+        // Same settings as runAlgorithmOnMachine: one iteration.
+        auto r = runPageRank(g, mach, /*max_iters=*/1, 0.85, 0.0, opts);
+        cap.addFloat("rank", r.rank);
+        cap.addScalar("iterations", r.iterations);
+        break;
+      }
+      case AlgorithmKind::BFS: {
+        auto r = runBfs(g, root, mach, opts);
+        cap.addExact("depth", bfsDepths(g, r.parent, root));
+        cap.addScalar("reached", r.reached);
+        cap.addScalar("rounds", r.rounds);
+        break;
+      }
+      case AlgorithmKind::SSSP: {
+        // rounds is NOT captured: Bellman-Ford relaxations cascade
+        // within a round through the shared dist array, so the round
+        // count at convergence depends on edge-processing order. The
+        // dist fixpoint itself is order-independent.
+        auto r = runSssp(g, root, mach, opts);
+        cap.addExact("dist", r.dist);
+        break;
+      }
+      case AlgorithmKind::BC: {
+        auto r = runBcForward(g, root, mach, opts);
+        cap.addFloat("sigma", r.sigma);
+        cap.addExact("bc_depth", r.depth);
+        cap.addScalar("rounds", r.rounds);
+        break;
+      }
+      case AlgorithmKind::Radii: {
+        auto r = runRadii(g, mach, /*sample=*/16, seed, opts);
+        cap.addExact("radii", r.radii);
+        cap.addScalar("max_radius",
+                      static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(r.max_radius)));
+        break;
+      }
+      case AlgorithmKind::CC: {
+        auto r = runComponents(g, mach, opts);
+        cap.addExact("label", r.label);
+        cap.addScalar("num_components", r.num_components);
+        break;
+      }
+      case AlgorithmKind::TC: {
+        auto r = runTriangleCount(g, mach, opts);
+        cap.addScalar("triangles", r.triangles);
+        break;
+      }
+      case AlgorithmKind::KC: {
+        auto r = runKCore(g, mach, opts);
+        cap.addExact("coreness", r.coreness);
+        cap.addScalar("degeneracy",
+                      static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(r.degeneracy)));
+        break;
+      }
+    }
+    return cap;
+}
+
+std::vector<std::string>
+compareCaptures(const AlgoCapture &expected, const AlgoCapture &actual,
+                std::uint64_t max_ulps, std::size_t max_report)
+{
+    std::vector<std::string> failures;
+    if (expected.props.size() != actual.props.size()) {
+        failures.push_back("property count mismatch");
+        return failures;
+    }
+
+    for (std::size_t pi = 0; pi < expected.props.size(); ++pi) {
+        const PropCapture &e = expected.props[pi];
+        const PropCapture &a = actual.props[pi];
+        if (e.name != a.name || e.floating != a.floating) {
+            failures.push_back("property layout mismatch at " + e.name);
+            continue;
+        }
+        if (e.bits.size() != a.bits.size()) {
+            std::ostringstream os;
+            os << e.name << ": size " << e.bits.size() << " vs "
+               << a.bits.size();
+            failures.push_back(os.str());
+            continue;
+        }
+        std::size_t reported = 0;
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < e.bits.size(); ++i) {
+            bool ok;
+            if (e.floating) {
+                ok = ulpDistance(bitsToDouble(e.bits[i]),
+                                 bitsToDouble(a.bits[i])) <= max_ulps;
+            } else {
+                ok = e.bits[i] == a.bits[i];
+            }
+            if (ok)
+                continue;
+            ++total;
+            if (reported < max_report) {
+                std::ostringstream os;
+                os << e.name << "[" << i << "]: ";
+                if (e.floating) {
+                    os.precision(17);
+                    os << bitsToDouble(e.bits[i]) << " vs "
+                       << bitsToDouble(a.bits[i]) << " ("
+                       << ulpDistance(bitsToDouble(e.bits[i]),
+                                      bitsToDouble(a.bits[i]))
+                       << " ulps)";
+                } else {
+                    os << static_cast<std::int64_t>(e.bits[i]) << " vs "
+                       << static_cast<std::int64_t>(a.bits[i]);
+                }
+                failures.push_back(os.str());
+                ++reported;
+            }
+        }
+        if (total > reported) {
+            std::ostringstream os;
+            os << e.name << ": " << (total - reported)
+               << " further mismatches suppressed";
+            failures.push_back(os.str());
+        }
+    }
+    return failures;
+}
+
+} // namespace testing
+} // namespace omega

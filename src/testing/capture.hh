@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Uniform vertex-property capture for differential comparison.
+ *
+ * Every algorithm's result struct is flattened into named property
+ * vectors of 64-bit patterns so runs on different machines can be
+ * compared field by field. Integer properties must match bit-identically;
+ * floating-point properties (PageRank ranks, BC sigma) are compared with
+ * a ULP budget because the machine-driven core interleave legitimately
+ * reorders the atomic floating-point accumulations.
+ *
+ * Order-dependent outputs are canonicalized before capture: a BFS parent
+ * array depends on which core wins the compare-and-set race, so the
+ * capture stores the parent-tree DEPTH per vertex (level-synchronous BFS
+ * makes depth invariant under parent choice) after validating that each
+ * parent pointer is an actual in-edge.
+ */
+
+#ifndef OMEGA_TESTING_CAPTURE_HH
+#define OMEGA_TESTING_CAPTURE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.hh"
+#include "graph/graph.hh"
+#include "sim/memory_system.hh"
+
+namespace omega {
+namespace testing {
+
+/** One captured vtxProp (or scalar) as raw 64-bit patterns. */
+struct PropCapture
+{
+    std::string name;
+    /** Compare with ULP tolerance instead of bit equality. */
+    bool floating = false;
+    std::vector<std::uint64_t> bits;
+};
+
+/** Flattened result of one algorithm run. */
+struct AlgoCapture
+{
+    AlgorithmKind kind = AlgorithmKind::PageRank;
+    std::vector<PropCapture> props;
+
+    /** Append an exact-compare integer property. */
+    template <typename T>
+    void
+    addExact(std::string name, const std::vector<T> &values)
+    {
+        PropCapture p;
+        p.name = std::move(name);
+        p.bits.reserve(values.size());
+        for (const T &v : values) {
+            p.bits.push_back(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(v)));
+        }
+        props.push_back(std::move(p));
+    }
+
+    /** Append a ULP-compared floating-point property. */
+    void
+    addFloat(std::string name, const std::vector<double> &values)
+    {
+        PropCapture p;
+        p.name = std::move(name);
+        p.floating = true;
+        p.bits.reserve(values.size());
+        for (double v : values) {
+            std::uint64_t u;
+            std::memcpy(&u, &v, sizeof(u));
+            p.bits.push_back(u);
+        }
+        props.push_back(std::move(p));
+    }
+
+    /** Append a single exact scalar (rounds, counts). */
+    void
+    addScalar(std::string name, std::uint64_t value)
+    {
+        PropCapture p;
+        p.name = std::move(name);
+        p.bits.push_back(value);
+        props.push_back(std::move(p));
+    }
+};
+
+/**
+ * Run @p kind on @p g (through @p mach, or functionally when null) with
+ * the same evaluation settings runAlgorithmOnMachine uses, and flatten
+ * the result. @p seed feeds sampled-source algorithms (Radii) so paired
+ * runs sample identically.
+ */
+AlgoCapture captureAlgorithm(AlgorithmKind kind, const Graph &g,
+                             MemorySystem *mach, EngineOptions opts = {},
+                             std::uint64_t seed = 1);
+
+/**
+ * BFS canonicalization: depth of each vertex in the parent tree, -1 for
+ * unreached. Invalid parents fold into sentinel depths so they surface
+ * as mismatches: -2 marks a cycle or out-of-range pointer, -3 a parent
+ * with no such edge in the graph.
+ */
+std::vector<std::int32_t> bfsDepths(const Graph &g,
+                                    const std::vector<std::int32_t> &parent,
+                                    VertexId root);
+
+/** Units-in-the-last-place distance; huge when signs differ or NaN. */
+std::uint64_t ulpDistance(double a, double b);
+
+/**
+ * Compare two captures. Returns human-readable mismatch descriptions
+ * (empty = equivalent); at most @p max_report entries per property.
+ */
+std::vector<std::string> compareCaptures(const AlgoCapture &expected,
+                                         const AlgoCapture &actual,
+                                         std::uint64_t max_ulps = 64,
+                                         std::size_t max_report = 4);
+
+} // namespace testing
+} // namespace omega
+
+#endif // OMEGA_TESTING_CAPTURE_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Differential oracle implementation.
+ */
+
+#include "testing/differential.hh"
+
+#include <sstream>
+
+#include "graph/reorder.hh"
+#include "omega/omega_machine.hh"
+#include "sim/baseline_machine.hh"
+#include "testing/invariants.hh"
+#include "util/logging.hh"
+
+namespace omega {
+namespace testing {
+
+namespace {
+
+/** Root-seeded algorithms cannot run on an empty vertex set. */
+bool
+needsVertices(AlgorithmKind kind)
+{
+    switch (kind) {
+      case AlgorithmKind::BFS:
+      case AlgorithmKind::SSSP:
+      case AlgorithmKind::BC:
+      case AlgorithmKind::Radii:
+        return true;
+      default:
+        return false;
+    }
+}
+
+MachineParams
+variantParams(MachineVariant variant, double capacity_scale)
+{
+    switch (variant) {
+      case MachineVariant::Baseline:
+        return MachineParams::baseline().scaledCapacities(capacity_scale);
+      case MachineVariant::OmegaSpOnly:
+        return MachineParams::omegaScratchpadOnly().scaledCapacities(
+            capacity_scale);
+      case MachineVariant::Omega:
+      case MachineVariant::OmegaNoReorder:
+        return MachineParams::omega().scaledCapacities(capacity_scale);
+    }
+    panic("unknown machine variant");
+}
+
+} // namespace
+
+const char *
+machineVariantName(MachineVariant variant)
+{
+    switch (variant) {
+      case MachineVariant::Baseline:
+        return "baseline";
+      case MachineVariant::Omega:
+        return "omega";
+      case MachineVariant::OmegaNoReorder:
+        return "omega-no-reorder";
+      case MachineVariant::OmegaSpOnly:
+        return "omega-sp-only";
+    }
+    return "?";
+}
+
+std::unique_ptr<MemorySystem>
+makeMachine(MachineVariant variant, double capacity_scale)
+{
+    const MachineParams params = variantParams(variant, capacity_scale);
+    if (variant == MachineVariant::Baseline)
+        return std::make_unique<BaselineMachine>(params);
+    return std::make_unique<OmegaMachine>(params);
+}
+
+std::string
+DiffCaseResult::summary() const
+{
+    std::ostringstream os;
+    os << "differential case: algo=" << algorithmName(algorithm)
+       << " graph={" << spec.describe() << "}";
+    if (skipped) {
+        os << " [skipped]";
+        return os.str();
+    }
+    os << " runs=" << runs;
+    if (failures.empty()) {
+        os << " [pass]";
+        return os.str();
+    }
+    os << "\nreproduce with this FuzzSpec (family/seed/vertices/"
+          "edge_factor/symmetrize) and the algorithm above:";
+    for (const std::string &f : failures)
+        os << "\n  - " << f;
+    return os.str();
+}
+
+DiffCaseResult
+runDifferentialCase(const FuzzSpec &spec, AlgorithmKind algorithm,
+                    const DiffOptions &opts)
+{
+    DiffCaseResult result;
+    result.spec = spec;
+    result.algorithm = algorithm;
+
+    const Graph base = spec.materialize();
+    const AlgorithmMeta &meta = algorithmMeta(algorithm);
+    if (meta.needs_symmetric && !base.symmetric()) {
+        result.skipped = true;
+        return result;
+    }
+    if (base.numVertices() == 0 && needsVertices(algorithm)) {
+        result.skipped = true;
+        return result;
+    }
+
+    // The paper's deployment reorders hot-first so the scratchpads hold
+    // the hottest vtxProps; OmegaNoReorder exercises the machine with an
+    // arbitrary hot set instead.
+    const Graph hot = reorderGraph(base, ReorderKind::InDegreeNthElement);
+
+    // Functional oracle per distinct vertex numbering (properties are
+    // indexed by vertex id, so base and hot captures differ by the
+    // permutation and must each be computed once).
+    const AlgoCapture func_hot = captureAlgorithm(
+        algorithm, hot, nullptr, EngineOptions{}, spec.seed);
+    AlgoCapture func_base;
+    bool have_func_base = false;
+
+    for (MachineVariant variant : opts.variants) {
+        const bool use_base = variant == MachineVariant::OmegaNoReorder;
+        const Graph &g = use_base ? base : hot;
+        const AlgoCapture *expected;
+        if (use_base) {
+            if (!have_func_base) {
+                func_base = captureAlgorithm(algorithm, base, nullptr,
+                                             EngineOptions{}, spec.seed);
+                have_func_base = true;
+            }
+            expected = &func_base;
+        } else {
+            expected = &func_hot;
+        }
+
+        auto mach = makeMachine(variant, opts.capacity_scale);
+        const AlgoCapture got = captureAlgorithm(
+            algorithm, g, mach.get(), EngineOptions{}, spec.seed);
+        ++result.runs;
+
+        const std::string tag =
+            std::string(machineVariantName(variant)) + ": ";
+        for (std::string &f : compareCaptures(*expected, got, opts.max_ulps))
+            result.failures.push_back(tag + "result diverges, " + f);
+
+        if (!opts.check_timing)
+            continue;
+
+        const StatsReport report = mach->report();
+        for (std::string &f :
+             checkStatsInvariants(report, mach->params()))
+            result.failures.push_back(tag + f);
+        for (std::string &f : checkMachineClocks(*mach))
+            result.failures.push_back(tag + f);
+
+        // Edge-less graphs may legitimately emit no machine events
+        // (SSSP's round loop never starts on a single vertex).
+        if (g.numArcs() > 0 && report.cycles == 0)
+            result.failures.push_back(tag +
+                                      "simulated work but zero cycles");
+
+        // PageRank sweeps every arc through the cold cache hierarchy, so
+        // DRAM must deliver at least the compulsory edge-array lines.
+        if (algorithm == AlgorithmKind::PageRank && g.numArcs() > 0) {
+            const std::uint64_t bound = compulsoryEdgeReadBytes(
+                g.numArcs(), /*edge_entry_bytes=*/4,
+                mach->params().l2.line_bytes);
+            if (report.dram_read_bytes < bound) {
+                std::ostringstream os;
+                os << tag << "DRAM read bytes " << report.dram_read_bytes
+                   << " below compulsory edge-stream bound " << bound;
+                result.failures.push_back(os.str());
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<DiffCaseResult>
+runDifferentialMatrix(const std::vector<FuzzSpec> &specs,
+                      const DiffOptions &opts)
+{
+    std::vector<DiffCaseResult> results;
+    for (const FuzzSpec &spec : specs) {
+        for (const AlgorithmMeta &meta : allAlgorithms())
+            results.push_back(runDifferentialCase(spec, meta.kind, opts));
+    }
+    return results;
+}
+
+} // namespace testing
+} // namespace omega

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Differential simulation oracle.
+ *
+ * The paper's core claim is that the OMEGA machine changes only the
+ * memory subsystem's *timing* — the computed answers must be exactly
+ * those of the baseline CMP and of the pure functional engine. This
+ * oracle enforces that: for one (fuzzed graph, algorithm) pair it runs
+ * the functional engine, then each requested machine variant, compares
+ * the flattened vertex properties (bit-identical, ULP-tolerant for the
+ * floating-point accumulations), and checks the timing-sanity invariants
+ * of every machine run. A failing case prints the FuzzSpec line needed
+ * to reproduce it in isolation.
+ *
+ * Variants:
+ *  - Baseline:        baseline CMP on the hot-first reordered graph.
+ *  - Omega:           OMEGA machine on the same reordered graph.
+ *  - OmegaNoReorder:  OMEGA machine on the identity-ordered graph (the
+ *                     scratchpad hot set is then arbitrary — results
+ *                     must STILL be identical; only timing may differ).
+ *  - OmegaSpOnly:     scratchpads without PISCs (section X.A ablation).
+ */
+
+#ifndef OMEGA_TESTING_DIFFERENTIAL_HH
+#define OMEGA_TESTING_DIFFERENTIAL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.hh"
+#include "sim/memory_system.hh"
+#include "testing/capture.hh"
+#include "testing/fuzz.hh"
+
+namespace omega {
+namespace testing {
+
+/** Machine configurations the oracle can sweep. */
+enum class MachineVariant : std::uint8_t
+{
+    Baseline,
+    Omega,
+    OmegaNoReorder,
+    OmegaSpOnly,
+};
+
+/** Printable variant name. */
+const char *machineVariantName(MachineVariant variant);
+
+/** Construct the machine for @p variant with capacities scaled. */
+std::unique_ptr<MemorySystem> makeMachine(MachineVariant variant,
+                                          double capacity_scale);
+
+/** Oracle knobs. */
+struct DiffOptions
+{
+    /** Capacity scale matching the scaled dataset stand-ins. */
+    double capacity_scale = 1.0 / 64.0;
+    /** ULP budget for floating-point property comparison. */
+    std::uint64_t max_ulps = 256;
+    /** Also check timing-sanity invariants on every machine run. */
+    bool check_timing = true;
+    /** Machine variants to sweep. */
+    std::vector<MachineVariant> variants = {MachineVariant::Baseline,
+                                            MachineVariant::Omega,
+                                            MachineVariant::OmegaNoReorder};
+};
+
+/** Outcome of one (spec, algorithm) differential case. */
+struct DiffCaseResult
+{
+    FuzzSpec spec;
+    AlgorithmKind algorithm = AlgorithmKind::PageRank;
+    /** Machine runs actually executed (0 when the case was skipped). */
+    unsigned runs = 0;
+    /** True when the algorithm needs symmetry the graph lacks. */
+    bool skipped = false;
+    /** Human-readable failures; empty = pass. */
+    std::vector<std::string> failures;
+
+    bool passed() const { return failures.empty(); }
+
+    /** Multi-line report including the reproduction spec. */
+    std::string summary() const;
+};
+
+/**
+ * Run one differential case: functional oracle vs. every variant in
+ * @p opts on the graph @p spec describes.
+ */
+DiffCaseResult runDifferentialCase(const FuzzSpec &spec,
+                                   AlgorithmKind algorithm,
+                                   const DiffOptions &opts = {});
+
+/**
+ * Sweep specs x all eight algorithms. Returns every case result (passed
+ * and failed) so callers can assert and report selectively.
+ */
+std::vector<DiffCaseResult>
+runDifferentialMatrix(const std::vector<FuzzSpec> &specs,
+                      const DiffOptions &opts = {});
+
+} // namespace testing
+} // namespace omega
+
+#endif // OMEGA_TESTING_DIFFERENTIAL_HH

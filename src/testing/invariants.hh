@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cross-counter timing-sanity invariants over a finished simulation.
+ *
+ * These are the end-of-run complements of the compiled-in omega_check()
+ * site assertions (util/check.hh): after a machine run completes, its
+ * StatsReport must satisfy a web of accounting identities that hold by
+ * construction of the models — every L2 miss performs exactly one DRAM
+ * line read, every writeback one DRAM write, per-core stall buckets sum
+ * to the core clock, scratchpad routing never exceeds the access count,
+ * and so on. A violation means a counter was dropped or double-charged
+ * somewhere in a refactor, even if the simulated results still agree.
+ */
+
+#ifndef OMEGA_TESTING_INVARIANTS_HH
+#define OMEGA_TESTING_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/memory_system.hh"
+#include "sim/params.hh"
+#include "sim/stats_report.hh"
+
+namespace omega {
+namespace testing {
+
+/**
+ * Check the counter identities of a finished run. Returns one message
+ * per violated invariant (empty = all hold).
+ *
+ * @param r the machine's report, taken after the final barrier.
+ * @param p the machine's parameters.
+ */
+std::vector<std::string> checkStatsInvariants(const StatsReport &r,
+                                              const MachineParams &p);
+
+/**
+ * Check the live machine state after a run: core clocks must be
+ * monotone and must not exceed the post-barrier global clock, and the
+ * global clock must be positive whenever work was simulated.
+ */
+std::vector<std::string> checkMachineClocks(const MemorySystem &mach);
+
+/**
+ * Lower bound for DRAM read traffic of a run that streams every
+ * out-edge at least once (PageRank's all-active sweep): the caches
+ * start cold, so each distinct edge-array line is a compulsory miss.
+ * Returns the bound in bytes.
+ */
+std::uint64_t compulsoryEdgeReadBytes(EdgeId num_arcs,
+                                      unsigned edge_entry_bytes,
+                                      unsigned line_bytes);
+
+} // namespace testing
+} // namespace omega
+
+#endif // OMEGA_TESTING_INVARIANTS_HH

@@ -51,6 +51,14 @@ PiscProgram
 compileUpdateFn(const UpdateFn &fn, std::uint16_t id)
 {
     omega_assert(!fn.steps.empty(), "update function has no steps");
+    omega_assert(fn.operand_bytes != 0 &&
+                     (fn.operand_bytes & (fn.operand_bytes - 1)) == 0 &&
+                     fn.operand_bytes <= 8,
+                 "offload operand size must be a power of two <= 8");
+    for (const UpdateStep &step : fn.steps) {
+        omega_assert(step.dst_prop < kPiscMaxProps,
+                     "dst_prop index beyond the scratchpad line layout");
+    }
     PiscProgram prog;
     prog.id = id;
     prog.name = fn.name;
@@ -69,6 +77,9 @@ compileUpdateFn(const UpdateFn &fn, std::uint16_t id)
     if (fn.sets_sparse_active)
         prog.code.push_back(MicroOp::AppendSparse);
     prog.code.push_back(MicroOp::Done);
+    omega_assert(prog.code.size() <= kPiscMaxProgramLen,
+                 "update function overflows the microcode store (",
+                 prog.code.size(), " micro-ops)");
     return prog;
 }
 

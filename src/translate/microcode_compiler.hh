@@ -23,6 +23,12 @@
 
 namespace omega {
 
+/** vtxProp entries addressable by one scratchpad line / PISC program. */
+inline constexpr unsigned kPiscMaxProps = 8;
+
+/** Capacity of the per-PISC microcode store, in micro-ops. */
+inline constexpr std::size_t kPiscMaxProgramLen = 32;
+
 /** PISC micro-operations. */
 enum class MicroOp : std::uint8_t
 {

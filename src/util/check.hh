@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Compiled-in machine invariant checks.
+ *
+ * The timing models (CoreModel, CacheArray, Scratchpad, Pisc) carry
+ * internal invariants — monotone clocks, bounded overlap windows, line
+ * geometry consistency — whose violation indicates a modelling bug. In
+ * normal builds checking every event would tax the hot simulation loop,
+ * so the checks compile away; configuring with -DOMEGA_CHECK_INVARIANTS=ON
+ * defines OMEGA_CHECK_INVARIANTS and turns every omega_check into an
+ * omega_assert that aborts at the violation site instead of letting the
+ * corruption surface thousands of cycles later in a counter mismatch.
+ *
+ * The differential test harness (src/testing/) is the intended consumer:
+ * the `invariants` CMake preset builds with checks on, so a fuzzed run
+ * that trips a model invariant faults with a file:line message.
+ */
+
+#ifndef OMEGA_UTIL_CHECK_HH
+#define OMEGA_UTIL_CHECK_HH
+
+#include "util/logging.hh"
+
+namespace omega {
+
+#ifdef OMEGA_CHECK_INVARIANTS
+
+/** True when omega_check() is compiled in (the `invariants` preset). */
+inline constexpr bool kInvariantChecksEnabled = true;
+
+/** Invariant check active in this build: aborts at the call site. */
+#define omega_check(cond, ...) omega_assert(cond, __VA_ARGS__)
+
+#else
+
+inline constexpr bool kInvariantChecksEnabled = false;
+
+/** Invariant check compiled out (release builds). The condition stays
+ *  syntactically alive (unevaluated) so its operands don't trip
+ *  -Wunused warnings in non-checking builds. */
+#define omega_check(cond, ...)                                               \
+    do {                                                                     \
+        (void)sizeof((cond));                                                \
+    } while (0)
+
+#endif
+
+} // namespace omega
+
+#endif // OMEGA_UTIL_CHECK_HH

@@ -109,8 +109,9 @@ TEST_P(CacheVsReference, RandomTraceAgrees)
         const auto want = ref.access(addr);
         ASSERT_EQ(got.hit, want.hit) << "step " << i << " addr " << addr;
         ASSERT_EQ(got.evicted, want.evicted) << "step " << i;
-        if (want.evicted)
+        if (want.evicted) {
             ASSERT_EQ(got.victim_addr, want.victim_addr) << "step " << i;
+        }
     }
 }
 
@@ -144,8 +145,9 @@ TEST(CacheVsReference, SkewedTraceAgrees)
             got.line->state = LineState::Shared;
         const auto want = ref.access(addr);
         ASSERT_EQ(got.hit, want.hit) << i;
-        if (want.evicted)
+        if (want.evicted) {
             ASSERT_EQ(got.victim_addr, want.victim_addr) << i;
+        }
     }
 }
 

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Differential oracle + fuzz harness tests.
+ *
+ * The main sweep runs every algorithm on every fuzz-matrix graph through
+ * the baseline machine, the OMEGA machine, and OMEGA without hot-first
+ * reordering, comparing each against the functional engine and checking
+ * the timing-sanity invariants. A failing case prints its FuzzSpec so it
+ * can be replayed in isolation; set OMEGA_FUZZ_SEED=<n> to run one extra
+ * randomized spec derived from that seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "graph/builder.hh"
+#include "testing/capture.hh"
+#include "testing/differential.hh"
+#include "testing/fuzz.hh"
+#include "testing/invariants.hh"
+
+namespace omega {
+namespace testing {
+namespace {
+
+bool
+sameGraph(const Graph &a, const Graph &b)
+{
+    if (a.numVertices() != b.numVertices() || a.numArcs() != b.numArcs() ||
+        a.symmetric() != b.symmetric())
+        return false;
+    for (VertexId v = 0; v < a.numVertices(); ++v) {
+        const auto na = a.outNeighbors(v);
+        const auto nb = b.outNeighbors(v);
+        const auto wa = a.outWeights(v);
+        const auto wb = b.outWeights(v);
+        if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end()) ||
+            !std::equal(wa.begin(), wa.end(), wb.begin(), wb.end()))
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Fuzzer: every family materializes a valid graph, deterministically.
+
+TEST(Fuzzer, MatrixMaterializesValidGraphs)
+{
+    for (const FuzzSpec &spec : defaultFuzzMatrix()) {
+        SCOPED_TRACE(spec.describe());
+        const Graph g = spec.materialize();
+        EXPECT_TRUE(g.validate());
+        if (spec.symmetrize) {
+            EXPECT_TRUE(g.symmetric());
+        }
+    }
+}
+
+TEST(Fuzzer, MaterializationIsDeterministic)
+{
+    for (const FuzzSpec &spec : defaultFuzzMatrix()) {
+        SCOPED_TRACE(spec.describe());
+        EXPECT_TRUE(sameGraph(spec.materialize(), spec.materialize()));
+    }
+}
+
+TEST(Fuzzer, FromSeedIsDeterministicAndValid)
+{
+    for (std::uint64_t s = 1; s <= 8; ++s) {
+        const FuzzSpec a = FuzzSpec::fromSeed(s);
+        const FuzzSpec b = FuzzSpec::fromSeed(s);
+        EXPECT_EQ(a.describe(), b.describe());
+        SCOPED_TRACE(a.describe());
+        const Graph g = a.materialize();
+        EXPECT_TRUE(g.validate());
+        EXPECT_GT(g.numVertices(), 0u);
+    }
+}
+
+TEST(Fuzzer, FamiliesProduceDistinctShapes)
+{
+    // Spot-check the degenerate families the matrix exists to cover.
+    FuzzSpec spec;
+    spec.family = FuzzFamily::Empty;
+    EXPECT_EQ(spec.materialize().numVertices(), 0u);
+
+    spec.family = FuzzFamily::SingleVertex;
+    EXPECT_EQ(spec.materialize().numVertices(), 1u);
+
+    spec.family = FuzzFamily::Ring;
+    spec.vertices = 64;
+    const Graph ring = spec.materialize();
+    for (VertexId v = 0; v < ring.numVertices(); ++v)
+        EXPECT_EQ(ring.outDegree(v), 2u);
+
+    spec.family = FuzzFamily::Star;
+    const Graph star = spec.materialize();
+    EXPECT_EQ(star.outDegree(0), star.numVertices() - 1);
+
+    spec.family = FuzzFamily::Disconnected;
+    spec.vertices = 64;
+    const Graph disc = spec.materialize();
+    // No arc crosses the island boundary at vertices/2.
+    const VertexId half = disc.numVertices() / 2;
+    for (VertexId v = 0; v < disc.numVertices(); ++v) {
+        for (VertexId d : disc.outNeighbors(v))
+            EXPECT_EQ(v < half, d < half);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Capture helpers.
+
+TEST(Capture, UlpDistance)
+{
+    EXPECT_EQ(ulpDistance(1.0, 1.0), 0u);
+    EXPECT_EQ(ulpDistance(0.0, -0.0), 0u);
+    EXPECT_EQ(ulpDistance(1.0, std::nextafter(1.0, 2.0)), 1u);
+    EXPECT_EQ(ulpDistance(-1.0, std::nextafter(-1.0, -2.0)), 1u);
+    EXPECT_GT(ulpDistance(1.0, 1.0 + 1e-9), 1000u);
+    EXPECT_EQ(ulpDistance(1.0, std::nan("")),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Capture, BfsDepthsCanonicalizesParentChoice)
+{
+    // Square 0-1-3-2-0: vertex 3 may claim parent 1 or 2; both give
+    // depth 2, so the canonicalized captures agree.
+    EdgeList edges = {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}};
+    BuildOptions opts;
+    opts.symmetrize = true;
+    const Graph g = buildGraph(4, edges, opts);
+
+    const std::vector<std::int32_t> via1 = {0, 0, 0, 1};
+    const std::vector<std::int32_t> via2 = {0, 0, 0, 2};
+    EXPECT_EQ(bfsDepths(g, via1, 0), bfsDepths(g, via2, 0));
+    EXPECT_EQ(bfsDepths(g, via1, 0),
+              (std::vector<std::int32_t>{0, 1, 1, 2}));
+
+    // Unreached stays -1; a fabricated parent edge folds to -3.
+    const std::vector<std::int32_t> unreached = {0, 0, -1, 1};
+    EXPECT_EQ(bfsDepths(g, unreached, 0)[2], -1);
+    const std::vector<std::int32_t> bogus = {0, 0, 0, 0}; // no 0->3 arc
+    EXPECT_EQ(bfsDepths(g, bogus, 0)[3], -3);
+}
+
+TEST(Capture, CompareReportsMismatch)
+{
+    AlgoCapture a;
+    a.addExact<std::int32_t>("x", {1, 2, 3});
+    AlgoCapture b;
+    b.addExact<std::int32_t>("x", {1, 9, 3});
+    EXPECT_TRUE(compareCaptures(a, a).empty());
+    const auto failures = compareCaptures(a, b);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_NE(failures[0].find("x[1]"), std::string::npos);
+}
+
+TEST(Invariants, CompulsoryEdgeReadBytes)
+{
+    EXPECT_EQ(compulsoryEdgeReadBytes(0, 4, 64), 0u);
+    EXPECT_EQ(compulsoryEdgeReadBytes(15, 4, 64), 0u);  // < one line
+    EXPECT_EQ(compulsoryEdgeReadBytes(16, 4, 64), 64u); // exactly one
+    EXPECT_EQ(compulsoryEdgeReadBytes(33, 4, 64), 128u);
+}
+
+TEST(Invariants, DetectsCorruptedReport)
+{
+    // Take a genuine post-run report, then break one identity at a time.
+    const FuzzSpec spec = defaultFuzzMatrix().front();
+    const Graph g = spec.materialize();
+    auto mach = makeMachine(MachineVariant::Omega, 1.0 / 64.0);
+    captureAlgorithm(AlgorithmKind::PageRank, g, mach.get());
+
+    const StatsReport good = mach->report();
+    EXPECT_TRUE(checkStatsInvariants(good, mach->params()).empty());
+
+    StatsReport bad = good;
+    bad.dram_reads += 1;
+    EXPECT_FALSE(checkStatsInvariants(bad, mach->params()).empty());
+
+    bad = good;
+    bad.sync_stall_cycles += 3;
+    EXPECT_FALSE(checkStatsInvariants(bad, mach->params()).empty());
+
+    bad = good;
+    bad.atomics_offloaded += 1;
+    EXPECT_FALSE(checkStatsInvariants(bad, mach->params()).empty());
+}
+
+// ---------------------------------------------------------------------
+// The tentpole sweep: algorithms x fuzzed graphs x machine variants.
+
+void
+expectAllPassed(const std::vector<DiffCaseResult> &results)
+{
+    unsigned ran = 0;
+    unsigned skipped = 0;
+    for (const DiffCaseResult &r : results) {
+        if (r.skipped) {
+            ++skipped;
+            continue;
+        }
+        ++ran;
+        EXPECT_TRUE(r.passed()) << r.summary();
+    }
+    // The matrix must genuinely exercise the machines: most cases run.
+    EXPECT_GT(ran, skipped);
+}
+
+TEST(Differential, MatrixAllAlgorithmsAllMachines)
+{
+    expectAllPassed(runDifferentialMatrix(defaultFuzzMatrix()));
+}
+
+TEST(Differential, ScratchpadOnlyAblation)
+{
+    // The PISC-less OMEGA ablation on the two power-law specs.
+    DiffOptions opts;
+    opts.variants = {MachineVariant::OmegaSpOnly};
+    const auto matrix = defaultFuzzMatrix();
+    const std::vector<FuzzSpec> specs(matrix.begin(), matrix.begin() + 2);
+    expectAllPassed(runDifferentialMatrix(specs, opts));
+}
+
+TEST(Differential, SeededFuzzCases)
+{
+    // A small randomized tail beyond the fixed matrix. OMEGA_FUZZ_SEED
+    // replays one failing derived spec by itself.
+    std::vector<FuzzSpec> specs;
+    if (const char *env = std::getenv("OMEGA_FUZZ_SEED")) {
+        specs.push_back(FuzzSpec::fromSeed(std::strtoull(env, nullptr, 0)));
+    } else {
+        for (std::uint64_t s = 2026; s < 2029; ++s)
+            specs.push_back(FuzzSpec::fromSeed(s));
+    }
+    for (const FuzzSpec &spec : specs) {
+        SCOPED_TRACE(spec.describe());
+        expectAllPassed(runDifferentialMatrix({spec}));
+    }
+}
+
+TEST(Differential, RerunIsBitIdenticalIncludingTiming)
+{
+    // Replaying a spec must reproduce not just the answers but the exact
+    // simulated cycle count — the whole harness depends on determinism.
+    const FuzzSpec spec = FuzzSpec::fromSeed(7);
+    const Graph g = spec.materialize();
+
+    auto run = [&](MachineVariant variant) {
+        auto mach = makeMachine(variant, 1.0 / 64.0);
+        const AlgoCapture cap = captureAlgorithm(
+            AlgorithmKind::PageRank, g, mach.get(), EngineOptions{},
+            spec.seed);
+        return std::make_pair(cap, mach->cycles());
+    };
+    for (MachineVariant variant :
+         {MachineVariant::Baseline, MachineVariant::Omega}) {
+        const auto first = run(variant);
+        const auto second = run(variant);
+        EXPECT_TRUE(compareCaptures(first.first, second.first,
+                                    /*max_ulps=*/0)
+                        .empty())
+            << machineVariantName(variant);
+        EXPECT_EQ(first.second, second.second)
+            << machineVariantName(variant);
+    }
+}
+
+} // namespace
+} // namespace testing
+} // namespace omega

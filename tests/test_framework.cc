@@ -70,8 +70,9 @@ TEST(Scheduler, CoversAllItemsExactlyOnce)
     std::set<std::uint64_t> seen;
     while (!sched.done()) {
         for (unsigned c = 0; c < 4; ++c) {
-            if (auto i = sched.next(c))
+            if (auto i = sched.next(c)) {
                 EXPECT_TRUE(seen.insert(*i).second);
+            }
         }
     }
     EXPECT_EQ(seen.size(), 103u);

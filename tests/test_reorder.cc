@@ -146,6 +146,81 @@ TEST(Reorder, IdentityKeepsIds)
     EXPECT_EQ(perm, expect);
 }
 
+TEST(Reorder, AllEqualDegreesStaysValid)
+{
+    // A ring has every in-degree equal: the nth_element partition point
+    // is an arbitrary tie-break, but the result must stay a permutation
+    // and must not perturb coverage (uniform degrees => coverage equals
+    // the prefix fraction regardless of ordering).
+    const VertexId n = 128;
+    EdgeList edges;
+    for (VertexId v = 0; v < n; ++v)
+        edges.push_back({v, (v + 1) % n, 1});
+    BuildOptions opts;
+    opts.symmetrize = true;
+    const Graph ring = buildGraph(n, edges, opts);
+
+    for (auto kind :
+         {ReorderKind::InDegreeSort, ReorderKind::InDegreeTopSort,
+          ReorderKind::InDegreeNthElement, ReorderKind::SlashburnLite}) {
+        SCOPED_TRACE(reorderKindName(kind));
+        const auto perm = buildReorderPermutation(ring, kind);
+        EXPECT_TRUE(isPermutation(perm));
+        const Graph hot = reorderGraph(ring, kind);
+        EXPECT_TRUE(hot.validate());
+        EXPECT_NEAR(prefixInEdgeCoverage(hot, 0.25), 0.25, 1.0 / n);
+    }
+}
+
+TEST(Reorder, HotFractionExtremes)
+{
+    // hot_fraction 0 (k=0) and 1 (k=n) hit the partial strategies'
+    // boundary guards: no partition point to sort around.
+    const Graph g = powerLawGraph();
+    std::vector<VertexId> identity(g.numVertices());
+    std::iota(identity.begin(), identity.end(), 0);
+
+    // nth_element with no partition point degenerates to identity.
+    for (double f : {0.0, 1.0}) {
+        const auto perm =
+            buildReorderPermutation(g, ReorderKind::InDegreeNthElement, f);
+        EXPECT_TRUE(isPermutation(perm));
+        EXPECT_EQ(perm, identity) << "fraction " << f;
+    }
+
+    // The top-sort variant falls back to the full in-degree sort.
+    const auto full =
+        buildReorderPermutation(g, ReorderKind::InDegreeSort);
+    for (double f : {0.0, 1.0}) {
+        const auto perm =
+            buildReorderPermutation(g, ReorderKind::InDegreeTopSort, f);
+        EXPECT_TRUE(isPermutation(perm));
+        EXPECT_EQ(perm, full) << "fraction " << f;
+    }
+}
+
+TEST(Reorder, TinyGraphs)
+{
+    // 0-, 1- and 2-vertex graphs through every strategy.
+    for (VertexId n : {0u, 1u, 2u}) {
+        EdgeList edges;
+        if (n == 2)
+            edges.push_back({0, 1, 1});
+        const Graph g = buildGraph(n, edges);
+        for (auto kind :
+             {ReorderKind::Identity, ReorderKind::InDegreeSort,
+              ReorderKind::InDegreeTopSort,
+              ReorderKind::InDegreeNthElement, ReorderKind::OutDegreeSort,
+              ReorderKind::SlashburnLite, ReorderKind::Random}) {
+            SCOPED_TRACE(reorderKindName(kind) + " n=" +
+                         std::to_string(n));
+            const auto perm = buildReorderPermutation(g, kind);
+            EXPECT_EQ(perm.size(), n);
+            EXPECT_TRUE(isPermutation(perm));
+        }
+    }
+}
+
 TEST(Reorder, KindNamesAreUnique)
 {
     std::set<std::string> names;

@@ -28,6 +28,74 @@ TEST(UpdateFn, AluOpNamesMatchTable2)
     EXPECT_EQ(piscAluOpName(PiscAluOp::BoolComp), "bool comp.");
 }
 
+using CompilerDeathTest = ::testing::Test;
+
+TEST(CompilerDeathTest, RejectsEmptyUpdateFunction)
+{
+    UpdateFn fn;
+    fn.name = "empty";
+    EXPECT_DEATH((void)compileUpdateFn(fn, 1), "no steps");
+}
+
+TEST(CompilerDeathTest, RejectsUnsupportedAluOp)
+{
+    UpdateFn fn;
+    fn.name = "bad-op";
+    UpdateStep step;
+    step.op = static_cast<PiscAluOp>(0xEE);
+    fn.steps.push_back(step);
+    EXPECT_DEATH((void)compileUpdateFn(fn, 1), "unknown ALU op");
+}
+
+TEST(CompilerDeathTest, RejectsOutOfRangePropIndex)
+{
+    UpdateFn fn;
+    fn.name = "bad-prop";
+    UpdateStep step;
+    step.dst_prop = kPiscMaxProps;
+    fn.steps.push_back(step);
+    EXPECT_DEATH((void)compileUpdateFn(fn, 1), "dst_prop");
+}
+
+TEST(CompilerDeathTest, RejectsMalformedOperandSize)
+{
+    UpdateFn fn;
+    fn.name = "bad-operand";
+    fn.steps.push_back(UpdateStep{});
+    fn.operand_bytes = 3;
+    EXPECT_DEATH((void)compileUpdateFn(fn, 1), "power of two");
+    fn.operand_bytes = 16;
+    EXPECT_DEATH((void)compileUpdateFn(fn, 1), "power of two");
+}
+
+TEST(CompilerDeathTest, RejectsProgramOverflowingMicrocodeStore)
+{
+    UpdateFn fn;
+    fn.name = "too-long";
+    UpdateStep step;
+    step.conditional_write = true; // 3 micro-ops per step
+    for (unsigned i = 0; i < kPiscMaxProgramLen; ++i)
+        fn.steps.push_back(step);
+    EXPECT_DEATH((void)compileUpdateFn(fn, 1), "microcode store");
+}
+
+TEST(Compiler, AcceptsMaximalValidUpdateFunction)
+{
+    // The widest function the checks admit still compiles.
+    UpdateFn fn;
+    fn.name = "maximal";
+    UpdateStep step;
+    step.dst_prop = kPiscMaxProps - 1;
+    step.conditional_write = true;
+    for (unsigned i = 0; i < 8; ++i)
+        fn.steps.push_back(step);
+    fn.sets_dense_active = true;
+    fn.sets_sparse_active = true;
+    const PiscProgram prog = compileUpdateFn(fn, 9);
+    EXPECT_LE(prog.code.size(), kPiscMaxProgramLen);
+    EXPECT_EQ(prog.code.back(), MicroOp::Done);
+}
+
 TEST(Compiler, PageRankProgramShape)
 {
     const PiscProgram prog = compileUpdateFn(pageRankUpdateFn(), 1);

@@ -15,8 +15,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_ablation_atomics", argc, argv);
     printBanner(std::cout,
                 "Ablation: atomic-instruction overhead on the baseline "
                 "(PageRank)");

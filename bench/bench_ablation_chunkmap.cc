@@ -15,8 +15,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_ablation_chunkmap", argc, argv);
     printBanner(std::cout,
                 "Ablation: scratchpad chunk mapping vs schedule chunk "
                 "(PageRank, rMat)");

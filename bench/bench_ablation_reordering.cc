@@ -20,8 +20,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_ablation_reordering", argc, argv);
     printBanner(std::cout,
                 "Ablation: offline reordering on the baseline (PageRank, "
                 "lj)");

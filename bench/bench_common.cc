@@ -6,12 +6,19 @@
 #include "bench_common.hh"
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
+#include <memory>
+#include <sstream>
 
 #include "graph/reorder.hh"
 #include "omega/omega_machine.hh"
 #include "sim/baseline_machine.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/trace.hh"
 
 namespace omega::bench {
 
@@ -68,14 +75,31 @@ runOn(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
 
     RunOutcome out;
     out.params = params;
-    if (kind == MachineKind::Baseline) {
-        BaselineMachine m(params);
-        out.cycles = runAlgorithmOnMachine(algo, g, &m);
-        out.stats = m.report();
+    std::unique_ptr<MemorySystem> m;
+    if (kind == MachineKind::Baseline)
+        m = std::make_unique<BaselineMachine>(params);
+    else
+        m = std::make_unique<OmegaMachine>(params);
+
+    BenchSession *session = BenchSession::active();
+    const bool observe = session != nullptr && session->observing();
+    IntervalRecorder recorder(observe ? session->intervalCycles() : 0);
+    if (observe) {
+        if (session->jsonEnabled())
+            m->attachIntervalRecorder(&recorder);
+        if (session->traceEnabled())
+            m->attachTracing();
+    }
+
+    out.cycles = runAlgorithmOnMachine(algo, g, m.get());
+
+    if (observe) {
+        m->recordFinalSample();
+        out.stats = m->report();
+        session->recordRun(spec.name, algorithmName(algo),
+                           machineKindName(kind), out, *m, recorder);
     } else {
-        OmegaMachine m(params);
-        out.cycles = runAlgorithmOnMachine(algo, g, &m);
-        out.stats = m.report();
+        out.stats = m->report();
     }
     return out;
 }
@@ -112,6 +136,192 @@ geoMean(const std::vector<double> &values)
     for (double v : values)
         log_sum += std::log(v);
     return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+namespace {
+
+BenchSession *g_active_session = nullptr;
+
+void
+writeParamsJson(JsonWriter &w, const MachineParams &p)
+{
+    w.beginObject();
+    w.field("num_cores", p.num_cores);
+    w.field("issue_width", p.issue_width);
+    w.field("rob_size", p.rob_size);
+    w.field("mshrs", p.mshrs);
+    w.field("stream_prefetch", p.stream_prefetch);
+    w.field("clock_ghz", p.clock_ghz);
+    w.field("l1d_bytes", p.l1d.size_bytes);
+    w.field("l2_bytes", p.l2.size_bytes);
+    w.field("l2_latency", p.l2.latency);
+    w.field("sp_total_bytes", p.sp_total_bytes);
+    w.field("sp_latency", p.sp_latency);
+    w.field("pisc_enabled", p.pisc_enabled);
+    w.field("svb_entries", p.svb_entries);
+    w.field("sp_chunk_size", p.sp_chunk_size);
+    w.field("sp_word_granularity", p.sp_word_granularity);
+    w.field("xbar_latency", p.xbar_latency);
+    w.field("xbar_flit_bytes", p.xbar_flit_bytes);
+    w.field("xbar_header_bytes", p.xbar_header_bytes);
+    w.field("dram_channels", p.dram_channels);
+    w.field("dram_gbs_per_channel", p.dram_gbs_per_channel);
+    w.field("dram_latency", p.dram_latency);
+    w.field("atomic_serialize", p.atomic_serialize);
+    w.field("pisc_send_cycles", p.pisc_send_cycles);
+    w.field("atomics_as_plain", p.atomics_as_plain);
+    w.endObject();
+}
+
+void
+writeDerivedJson(JsonWriter &w, const RunOutcome &out)
+{
+    const StatsReport &s = out.stats;
+    w.beginObject();
+    w.field("l1_hit_rate", s.l1HitRate());
+    w.field("l2_hit_rate", s.l2HitRate());
+    w.field("last_level_hit_rate", s.lastLevelHitRate());
+    w.field("dram_bytes", s.dramBytes());
+    w.field("dram_bandwidth_gbs", s.dramBandwidthGBs(out.params.clock_ghz));
+    w.field("dram_bandwidth_utilization",
+            s.dramBandwidthUtilization(out.params));
+    w.field("memory_bound_fraction", s.memoryBoundFraction());
+    w.field("hot_vertex_access_fraction", s.hotVertexAccessFraction());
+    w.endObject();
+}
+
+} // namespace
+
+BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
+    : bench_name_(std::move(bench_name))
+{
+    for (int i = 1; i < argc; ++i)
+        args_.emplace_back(argv[i]);
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+        const std::string &arg = args_[i];
+        const bool has_operand = i + 1 < args_.size();
+        if (arg == "--json") {
+            omega_assert(has_operand, "--json requires a path operand");
+            json_path_ = args_[++i];
+        } else if (arg == "--trace") {
+            omega_assert(has_operand, "--trace requires a path operand");
+            trace_path_ = args_[++i];
+        } else if (arg == "--interval") {
+            omega_assert(has_operand,
+                         "--interval requires a cycle-count operand");
+            interval_cycles_ = std::strtoull(args_[++i].c_str(), nullptr, 10);
+        }
+        // Unrecognized arguments are left for the bench itself.
+    }
+    if (!trace_path_.empty()) {
+        sink_ = std::make_unique<trace::TraceSink>();
+        trace::setSink(sink_.get());
+        if (!trace::compiledIn()) {
+            warn("--trace requested but OMEGA_TRACE was compiled out; "
+                 "the trace file will contain no events");
+        }
+    }
+    prev_active_ = g_active_session;
+    g_active_session = this;
+}
+
+BenchSession::~BenchSession()
+{
+    g_active_session = prev_active_;
+    if (sink_ != nullptr && trace::sink() == sink_.get())
+        trace::setSink(nullptr);
+    if (jsonEnabled())
+        writeJsonDoc();
+    if (sink_ != nullptr)
+        writeTraceFile();
+}
+
+BenchSession *
+BenchSession::active()
+{
+    return g_active_session;
+}
+
+void
+BenchSession::recordRun(const std::string &dataset,
+                        const std::string &algorithm,
+                        const std::string &machine,
+                        const RunOutcome &outcome, const MemorySystem &mach,
+                        const IntervalRecorder &intervals)
+{
+    if (!jsonEnabled())
+        return;
+    RunRecord rec;
+    rec.dataset = dataset;
+    rec.algorithm = algorithm;
+    rec.machine = machine;
+    rec.outcome = outcome;
+    rec.intervals = intervals;
+    if (const StatGroup *tree = mach.statTree()) {
+        std::ostringstream os;
+        JsonWriter w(os, /*pretty=*/false);
+        tree->writeJson(w);
+        omega_assert(w.complete(), "stat-tree JSON left unterminated");
+        rec.stat_tree_json = os.str();
+    }
+    runs_.push_back(std::move(rec));
+}
+
+void
+BenchSession::writeJsonDoc() const
+{
+    std::ofstream os(json_path_);
+    if (!os) {
+        warn("cannot open --json output path: ", json_path_);
+        return;
+    }
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.field("schema_version", kSchemaVersion);
+    w.field("bench", bench_name_);
+    w.key("args").beginArray();
+    for (const std::string &a : args_)
+        w.value(a);
+    w.endArray();
+    w.field("interval_cycles", interval_cycles_);
+    if (sink_ != nullptr)
+        w.field("trace_events", static_cast<std::uint64_t>(
+                                    sink_->numEvents()));
+    w.key("runs").beginArray();
+    for (const RunRecord &rec : runs_) {
+        w.beginObject();
+        w.field("dataset", rec.dataset);
+        w.field("algorithm", rec.algorithm);
+        w.field("machine", rec.machine);
+        w.field("cycles", rec.outcome.cycles);
+        w.key("params");
+        writeParamsJson(w, rec.outcome.params);
+        w.key("stats");
+        rec.outcome.stats.writeJson(w);
+        w.key("derived");
+        writeDerivedJson(w, rec.outcome);
+        if (!rec.stat_tree_json.empty())
+            w.key("stat_tree").rawValue(rec.stat_tree_json);
+        w.key("intervals");
+        rec.intervals.writeJson(w);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    omega_assert(w.complete(), "bench JSON document left unterminated");
+    os << '\n';
+}
+
+void
+BenchSession::writeTraceFile() const
+{
+    std::ofstream os(trace_path_);
+    if (!os) {
+        warn("cannot open --trace output path: ", trace_path_);
+        return;
+    }
+    sink_->writeChromeTrace(os);
+    os << '\n';
 }
 
 } // namespace omega::bench

@@ -13,14 +13,20 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "algorithms/algorithms.hh"
 #include "graph/datasets.hh"
+#include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
 #include "sim/params.hh"
 #include "sim/stats_report.hh"
+
+namespace omega::trace {
+class TraceSink;
+}
 
 namespace omega::bench {
 
@@ -65,6 +71,79 @@ std::vector<DatasetSpec> powerLawDatasets();
 
 /** Geometric mean of a non-empty vector. */
 double geoMean(const std::vector<double> &values);
+
+/**
+ * Machine-readable output session for a bench binary.
+ *
+ * Construct one at the top of main() with the program arguments; it
+ * recognizes (and consumes conceptually — benches take no other args):
+ *
+ *   --json <path>       write a versioned JSON document with every run's
+ *                       parameters, StatsReport, derived metrics, stat
+ *                       tree and interval time series;
+ *   --trace <path>      record simulated events and write a Chrome
+ *                       trace_event file (open in Perfetto);
+ *   --interval <cycles> cadence for interval samples (default 0: only
+ *                       iteration/final samples are taken).
+ *
+ * While a session with --json or --trace is alive, runOn() attaches an
+ * IntervalRecorder and the trace sink to every machine it builds and
+ * reports each run back here; both files are written when the session is
+ * destroyed. Without those flags the session is inert and benches behave
+ * exactly as before. The emitted document is deterministic: identical
+ * runs produce byte-identical files.
+ */
+class BenchSession
+{
+  public:
+    BenchSession(std::string bench_name, int argc, char **argv);
+    ~BenchSession();
+    BenchSession(const BenchSession &) = delete;
+    BenchSession &operator=(const BenchSession &) = delete;
+
+    /** The innermost live session, or nullptr. */
+    static BenchSession *active();
+
+    bool jsonEnabled() const { return !json_path_.empty(); }
+    bool traceEnabled() const { return sink_ != nullptr; }
+    /** True when runOn() should instrument machines at all. */
+    bool observing() const { return jsonEnabled() || traceEnabled(); }
+    Cycles intervalCycles() const { return interval_cycles_; }
+
+    /** Document schema version (bump on incompatible layout changes). */
+    static constexpr int kSchemaVersion = 1;
+
+    /** Called by runOn() after each simulated run. */
+    void recordRun(const std::string &dataset,
+                   const std::string &algorithm,
+                   const std::string &machine, const RunOutcome &outcome,
+                   const MemorySystem &mach,
+                   const IntervalRecorder &intervals);
+
+  private:
+    struct RunRecord
+    {
+        std::string dataset;
+        std::string algorithm;
+        std::string machine;
+        RunOutcome outcome;
+        /** Pre-rendered (compact) machine stat-tree object, or empty. */
+        std::string stat_tree_json;
+        IntervalRecorder intervals;
+    };
+
+    void writeJsonDoc() const;
+    void writeTraceFile() const;
+
+    std::string bench_name_;
+    std::vector<std::string> args_;
+    std::string json_path_;
+    std::string trace_path_;
+    Cycles interval_cycles_ = 0;
+    std::unique_ptr<trace::TraceSink> sink_;
+    std::vector<RunRecord> runs_;
+    BenchSession *prev_active_ = nullptr;
+};
 
 /**
  * A counting-only MemorySystem for the profiling figures (4b / 5): it

@@ -43,8 +43,9 @@ runState(const Graph &g, const DatasetSpec &spec)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_ext_dynamic", argc, argv);
     printBanner(std::cout,
                 "Extension (section IX): dynamic graphs (PageRank, "
                 "wiki-like churn)");

@@ -18,8 +18,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_ext_lockedline", argc, argv);
     printBanner(std::cout,
                 "Extension (section IX): word-granularity scratchpads vs "
                 "locked cache lines (SSSP)");

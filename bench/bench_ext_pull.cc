@@ -51,8 +51,9 @@ measure(const DatasetSpec &spec, MachineKind kind, RunF &&run)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_ext_pull", argc, argv);
     printBanner(std::cout,
                 "Extension (section IV): push+atomics vs pull (PageRank)");
 

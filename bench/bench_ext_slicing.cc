@@ -21,8 +21,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_ext_slicing", argc, argv);
     printBanner(std::cout,
                 "Extension (section VII): graph slicing policies "
                 "(PageRank, lj, scratchpads 1/4 size)");

@@ -15,8 +15,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig14_speedup", argc, argv);
     printBanner(std::cout,
                 "Fig 14: OMEGA speedup over the baseline CMP (Ligra)");
 

@@ -14,8 +14,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig15_llc_hitrate", argc, argv);
     printBanner(std::cout,
                 "Fig 15: last-level storage hit rate (PageRank)");
 

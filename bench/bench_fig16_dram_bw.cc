@@ -15,8 +15,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig16_dram_bw", argc, argv);
     printBanner(std::cout,
                 "Fig 16: DRAM bandwidth utilization (PageRank)");
 

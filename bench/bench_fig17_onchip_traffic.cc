@@ -15,8 +15,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig17_onchip_traffic", argc, argv);
     printBanner(std::cout, "Fig 17: on-chip traffic (PageRank)");
 
     Table t({"dataset", "baseline MB", "omega MB", "baseline flits",

@@ -14,8 +14,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig18_powerlaw_vs_road", argc, argv);
     printBanner(std::cout,
                 "Fig 18: power-law (lj) vs non-power-law (USA)");
 

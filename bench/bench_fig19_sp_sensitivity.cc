@@ -20,8 +20,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig19_sp_sensitivity", argc, argv);
     printBanner(std::cout,
                 "Fig 19: scratchpad size sensitivity (lj)");
 

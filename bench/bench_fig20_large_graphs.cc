@@ -68,8 +68,9 @@ measureInputs(const DatasetSpec &spec, AlgorithmKind algo)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig20_large_graphs", argc, argv);
     printBanner(std::cout, "Fig 20: large datasets via the high-level "
                            "model (uk, twitter)");
 

@@ -15,8 +15,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig21_energy", argc, argv);
     printBanner(std::cout,
                 "Fig 21: memory-system energy breakdown (PageRank)");
 

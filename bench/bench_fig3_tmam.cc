@@ -17,8 +17,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig3_tmam", argc, argv);
     printBanner(std::cout,
                 "Fig 3: execution breakdown on the baseline CMP");
 

@@ -16,8 +16,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig4_cache_profile", argc, argv);
     printBanner(std::cout,
                 "Fig 4(a): baseline cache hit rates / Fig 4(b): accesses "
                 "to the top-20% most-connected vertices");

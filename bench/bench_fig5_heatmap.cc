@@ -17,8 +17,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_fig5_heatmap", argc, argv);
     printBanner(std::cout, "Fig 5: % of vtxProp accesses to the 20% "
                            "most-connected vertices (heat map)");
 

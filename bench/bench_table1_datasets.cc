@@ -17,8 +17,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_table1_datasets", argc, argv);
     printBanner(std::cout, "Table I: graph dataset characterization "
                            "(stand-ins vs paper)");
 

@@ -33,8 +33,9 @@ classify(double fraction)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_table2_algorithms", argc, argv);
     printBanner(std::cout,
                 "Table II: graph-based algorithm characterization");
 

@@ -14,8 +14,9 @@ using namespace omega;
 using namespace omega::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchSession session("bench_table4_area_power", argc, argv);
     printBanner(std::cout,
                 "Table IV: peak power and area per node (baseline vs "
                 "OMEGA)");

@@ -7,6 +7,7 @@
 
 #include "translate/codegen.hh"
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace omega {
 
@@ -178,6 +179,11 @@ Engine::finishIteration()
     if (mach_) {
         mach_->barrier();
         mach_->endIteration();
+        if (const int pid = mach_->tracePid(); pid > 0) {
+            trace::emitInstant("engine.iteration", "engine", pid,
+                               trace::kEngineTid, mach_->cycles(),
+                               "iteration", iterations_);
+        }
     }
     ++iterations_;
 }

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace omega {
 
@@ -28,6 +29,99 @@ OmegaMachine::OmegaMachine(const MachineParams &params)
         svbs_.emplace_back(params.svb_entries);
     }
     sparse_append_count_.assign(params.num_cores, 0);
+    buildStatTree();
+}
+
+void
+OmegaMachine::buildStatTree()
+{
+    // Component vectors are fully constructed by now; the groups hold raw
+    // pointers into them, so this must be the constructor's last act.
+    stats_root_.addScalar("cycles", &global_cycles_,
+                          "global completed time");
+    stats_root_.addScalar("atomics_total", &atomics_total_,
+                          "atomic vtxProp updates issued");
+    stats_root_.addScalar("atomics_offloaded", &atomics_offloaded_,
+                          "atomics offloaded to PISCs");
+    stats_root_.addScalar("atomics_on_core", &atomics_on_core_,
+                          "atomics executed on the cores");
+    stats_root_.addScalar("sp_local", &sp_local_,
+                          "local scratchpad accesses");
+    stats_root_.addScalar("sp_remote", &sp_remote_,
+                          "remote scratchpad accesses");
+    stats_root_.addScalar("vtxprop_accesses", &vtxprop_accesses_,
+                          "vtxProp touches");
+    stats_root_.addScalar("vtxprop_hot_accesses", &vtxprop_hot_accesses_,
+                          "vtxProp touches on hot vertices");
+    hierarchy_.addStats(cache_group_);
+    stats_root_.addChild(&cache_group_);
+    controller_.addStats(controller_group_);
+    stats_root_.addChild(&controller_group_);
+    component_groups_.reserve(4 * cores_.size());
+    const auto attach = [this](const std::string &name) -> StatGroup & {
+        component_groups_.push_back(std::make_unique<StatGroup>(name));
+        stats_root_.addChild(component_groups_.back().get());
+        return *component_groups_.back();
+    };
+    for (std::size_t c = 0; c < cores_.size(); ++c)
+        cores_[c].addStats(attach("core" + std::to_string(c)));
+    for (std::size_t c = 0; c < scratchpads_.size(); ++c)
+        scratchpads_[c].addStats(attach("sp" + std::to_string(c)));
+    for (std::size_t c = 0; c < piscs_.size(); ++c)
+        piscs_[c].addStats(attach("pisc" + std::to_string(c)));
+    for (std::size_t c = 0; c < svbs_.size(); ++c)
+        svbs_[c].addStats(attach("svb" + std::to_string(c)));
+}
+
+void
+OmegaMachine::attachTracing()
+{
+    trace::TraceSink *s = trace::sink();
+    if (s == nullptr)
+        return;
+    trace_pid_ = s->beginProcess(name());
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        cores_[c].setTraceIds(trace_pid_, static_cast<int>(c));
+        s->nameThread(static_cast<int>(c), "core" + std::to_string(c));
+    }
+    for (std::size_t c = 0; c < piscs_.size(); ++c) {
+        s->nameThread(trace::kPiscTidBase + static_cast<int>(c),
+                      "pisc" + std::to_string(c));
+    }
+    hierarchy_.dram().setTracePid(trace_pid_);
+    for (unsigned ch = 0; ch < params_.dram_channels; ++ch) {
+        s->nameThread(trace::kDramTidBase + static_cast<int>(ch),
+                      "dram.ch" + std::to_string(ch));
+    }
+    s->nameThread(trace::kEngineTid, "engine");
+}
+
+std::vector<CoreIntervalStats>
+OmegaMachine::coreIntervals() const
+{
+    std::vector<CoreIntervalStats> out;
+    out.reserve(cores_.size());
+    for (const auto &core : cores_) {
+        out.push_back({core.computeCycles(), core.memStallCycles(),
+                       core.atomicStallCycles(), core.syncStallCycles()});
+    }
+    return out;
+}
+
+void
+OmegaMachine::takeSample(SampleKind kind)
+{
+    std::vector<std::uint64_t> pisc_busy;
+    pisc_busy.reserve(piscs_.size());
+    for (const auto &pisc : piscs_)
+        pisc_busy.push_back(pisc.busyCycles());
+    std::vector<std::uint64_t> sp_accesses;
+    sp_accesses.reserve(scratchpads_.size());
+    for (const auto &sp : scratchpads_)
+        sp_accesses.push_back(sp.accesses());
+    recorder_->take(kind, global_cycles_, iteration_, report(),
+                    coreIntervals(), std::move(pisc_busy),
+                    std::move(sp_accesses));
 }
 
 void
@@ -265,7 +359,16 @@ OmegaMachine::atomicUpdate(const AtomicRequest &request)
     const Cycles start = controller_.beginAtomic(
         request.vertex, arrival, pisc.programCycles());
     const Cycles completion = pisc.execute(start);
-    (void)completion;
+    if (trace_pid_ > 0) {
+        // Dispatch-to-completion span on the home engine's track: the gap
+        // before `start` is same-vertex blocking plus engine queueing.
+        const Cycles dispatch = core.now();
+        trace::emitComplete("pisc.atomic", "pisc", trace_pid_,
+                            trace::kPiscTidBase +
+                                static_cast<int>(route->home),
+                            dispatch, completion - dispatch, "vertex",
+                            request.vertex);
+    }
     scratchpads_[route->home].recordAtomic();
 
     // Active-list maintenance is offloaded too (paper section V.B).
@@ -299,6 +402,8 @@ OmegaMachine::barrier()
     for (auto &core : cores_)
         core.syncTo(t);
     global_cycles_ = t;
+    if (recorder_ != nullptr && recorder_->cadenceDue(global_cycles_))
+        takeSample(SampleKind::Cadence);
 }
 
 void
@@ -306,6 +411,21 @@ OmegaMachine::endIteration()
 {
     for (auto &svb : svbs_)
         svb.invalidateAll();
+    if (trace_pid_ > 0) {
+        trace::emitInstant("svb.invalidate_all", "svb", trace_pid_,
+                           trace::kEngineTid, global_cycles_, "iteration",
+                           iteration_);
+    }
+    ++iteration_;
+    if (recorder_ != nullptr)
+        takeSample(SampleKind::Iteration);
+}
+
+void
+OmegaMachine::recordFinalSample()
+{
+    if (recorder_ != nullptr)
+        takeSample(SampleKind::Final);
 }
 
 Cycles

@@ -30,7 +30,9 @@
 #include "omega/source_vertex_buffer.hh"
 #include "sim/coherence.hh"
 #include "sim/core_model.hh"
+#include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
+#include "util/stats.hh"
 
 namespace omega {
 
@@ -64,8 +66,16 @@ class OmegaMachine : public MemorySystem
     }
     const ScratchpadController &controller() const { return controller_; }
 
+    void recordFinalSample() override;
+    const StatGroup *statTree() const override { return &stats_root_; }
+    void attachTracing() override;
+    int tracePid() const override { return trace_pid_; }
+
   private:
     void countVertexAccess(VertexId vertex);
+    void buildStatTree();
+    std::vector<CoreIntervalStats> coreIntervals() const;
+    void takeSample(SampleKind kind);
     /** Scratchpad word access from @p core; returns core-visible latency. */
     Cycles scratchpadAccess(unsigned core, const SpRoute &route,
                             std::uint32_t bytes, bool write);
@@ -83,6 +93,8 @@ class OmegaMachine : public MemorySystem
     std::vector<SourceVertexBuffer> svbs_;
     ScratchpadController controller_;
     Cycles global_cycles_ = 0;
+    std::uint64_t iteration_ = 0;
+    int trace_pid_ = 0;
 
     std::uint64_t atomics_total_ = 0;
     std::uint64_t atomics_offloaded_ = 0;
@@ -92,6 +104,13 @@ class OmegaMachine : public MemorySystem
     std::uint64_t vtxprop_accesses_ = 0;
     std::uint64_t vtxprop_hot_accesses_ = 0;
     std::vector<std::uint64_t> sparse_append_count_;
+
+    /** Stat tree: root -> {machine counters, cache.*, coreN.*, spN.*,
+     *  piscN.*, svbN.*, controller.*}. */
+    StatGroup stats_root_{"omega"};
+    StatGroup cache_group_{"cache"};
+    StatGroup controller_group_{"controller"};
+    std::vector<std::unique_ptr<StatGroup>> component_groups_;
 };
 
 } // namespace omega

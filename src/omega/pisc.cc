@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "util/check.hh"
+#include "util/stats.hh"
 
 namespace omega {
 
@@ -49,6 +50,16 @@ Pisc::extendBusy(Cycles extra)
     busy_until_ += extra;
     last_completion_ = std::max(last_completion_, busy_until_);
     busy_cycles_ += extra;
+}
+
+void
+Pisc::addStats(StatGroup &group) const
+{
+    group.addScalar("ops", &ops_, "offloaded atomics executed");
+    group.addScalar("busy_cycles", &busy_cycles_,
+                    "cycles the sequencer was occupied");
+    group.addScalar("queue_cycles", &queue_cycles_,
+                    "cycles offloads waited behind the engine");
 }
 
 void

@@ -22,6 +22,8 @@
 
 namespace omega {
 
+class StatGroup;
+
 /** ALU operation classes supported by a PISC (paper Fig 9 / Table II). */
 enum class PiscAluOp : std::uint8_t
 {
@@ -72,6 +74,9 @@ class Pisc
     std::uint64_t ops() const { return ops_; }
     std::uint64_t busyCycles() const { return busy_cycles_; }
     std::uint64_t queueCycles() const { return queue_cycles_; }
+
+    /** Register engine counters in @p group. */
+    void addStats(StatGroup &group) const;
 
     void reset();
 

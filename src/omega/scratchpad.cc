@@ -6,6 +6,7 @@
 #include "omega/scratchpad.hh"
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace omega {
 
@@ -21,6 +22,16 @@ Scratchpad::setLineBytes(std::uint32_t line_bytes)
     line_bytes_ = line_bytes;
     num_lines_ = static_cast<VertexId>(capacity_ / line_bytes_);
     return num_lines_;
+}
+
+void
+Scratchpad::addStats(StatGroup &group) const
+{
+    group.addScalar("reads", &reads_, "scratchpad reads");
+    group.addScalar("writes", &writes_, "scratchpad writes");
+    group.addScalar("atomics", &atomics_, "in-situ atomics");
+    group.addScalar("bytes_read", &bytes_read_, "bytes read");
+    group.addScalar("bytes_written", &bytes_written_, "bytes written");
 }
 
 void

@@ -21,6 +21,8 @@
 
 namespace omega {
 
+class StatGroup;
+
 /** One core's scratchpad: geometry plus access accounting. */
 class Scratchpad
 {
@@ -72,6 +74,12 @@ class Scratchpad
     std::uint64_t atomics() const { return atomics_; }
     std::uint64_t bytesRead() const { return bytes_read_; }
     std::uint64_t bytesWritten() const { return bytes_written_; }
+
+    /** Record total accesses (reads + writes + atomics). */
+    std::uint64_t accesses() const { return reads_ + writes_ + atomics_; }
+
+    /** Register access counters in @p group. */
+    void addStats(StatGroup &group) const;
 
     void reset();
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace omega {
 
@@ -80,6 +81,13 @@ ScratchpadController::isVertexBusy(VertexId vertex, Cycles now) const
 {
     auto it = vertex_busy_until_.find(vertex);
     return it != vertex_busy_until_.end() && it->second > now;
+}
+
+void
+ScratchpadController::addStats(StatGroup &group) const
+{
+    group.addScalar("conflicts", &conflicts_,
+                    "atomics serialized behind a same-vertex in-flight op");
 }
 
 void

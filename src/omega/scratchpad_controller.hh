@@ -25,6 +25,8 @@
 
 namespace omega {
 
+class StatGroup;
+
 /** Result of the monitor unit: which vertex/prop an address refers to. */
 struct SpRoute
 {
@@ -93,6 +95,8 @@ class ScratchpadController
     bool isVertexBusy(VertexId vertex, Cycles now) const;
     /** Conflicts observed (requests that had to wait). */
     std::uint64_t conflicts() const { return conflicts_; }
+    /** Register conflict counters in @p group. */
+    void addStats(StatGroup &group) const;
     /** Clear the busy table and counters (between runs). */
     void reset();
     /** @} */

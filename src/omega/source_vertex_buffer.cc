@@ -5,6 +5,8 @@
 
 #include "omega/source_vertex_buffer.hh"
 
+#include "util/stats.hh"
+
 namespace omega {
 
 SourceVertexBuffer::SourceVertexBuffer(unsigned entries)
@@ -55,6 +57,16 @@ SourceVertexBuffer::invalidateAll()
 {
     for (auto &slot : slots_)
         slot.valid = false;
+    ++invalidations_;
+}
+
+void
+SourceVertexBuffer::addStats(StatGroup &group) const
+{
+    group.addScalar("hits", &hits_, "SVB hits");
+    group.addScalar("misses", &misses_, "SVB misses");
+    group.addScalar("invalidation_epochs", &invalidations_,
+                    "end-of-iteration invalidation sweeps");
 }
 
 void
@@ -62,6 +74,7 @@ SourceVertexBuffer::resetStats()
 {
     hits_ = 0;
     misses_ = 0;
+    invalidations_ = 0;
 }
 
 } // namespace omega

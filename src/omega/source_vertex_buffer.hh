@@ -21,6 +21,8 @@
 
 namespace omega {
 
+class StatGroup;
+
 /** Fully-associative LRU buffer of (vertex, prop) entries. */
 class SourceVertexBuffer
 {
@@ -48,6 +50,11 @@ class SourceVertexBuffer
     }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
+    /** End-of-iteration invalidation sweeps performed. */
+    std::uint64_t invalidationEpochs() const { return invalidations_; }
+
+    /** Register hit/miss counters in @p group. */
+    void addStats(StatGroup &group) const;
 
     void resetStats();
 
@@ -64,6 +71,7 @@ class SourceVertexBuffer
     std::uint64_t lru_clock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t invalidations_ = 0;
 };
 
 } // namespace omega

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace omega {
 
@@ -18,6 +19,69 @@ BaselineMachine::BaselineMachine(const MachineParams &params)
     for (unsigned c = 0; c < params.num_cores; ++c)
         cores_.emplace_back(params);
     sparse_append_count_.assign(params.num_cores, 0);
+    buildStatTree();
+}
+
+void
+BaselineMachine::buildStatTree()
+{
+    // Component vectors are fully constructed by now; the groups hold raw
+    // pointers into them, so this must be the constructor's last act.
+    stats_root_.addScalar("cycles", &global_cycles_,
+                          "global completed time");
+    stats_root_.addScalar("atomics_total", &atomics_total_,
+                          "atomic vtxProp updates issued");
+    stats_root_.addScalar("vtxprop_accesses", &vtxprop_accesses_,
+                          "vtxProp touches");
+    stats_root_.addScalar("vtxprop_hot_accesses", &vtxprop_hot_accesses_,
+                          "vtxProp touches on hot vertices");
+    hierarchy_.addStats(cache_group_);
+    stats_root_.addChild(&cache_group_);
+    core_groups_.reserve(cores_.size());
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        core_groups_.push_back(std::make_unique<StatGroup>(
+            "core" + std::to_string(c)));
+        cores_[c].addStats(*core_groups_.back());
+        stats_root_.addChild(core_groups_.back().get());
+    }
+}
+
+void
+BaselineMachine::attachTracing()
+{
+    trace::TraceSink *s = trace::sink();
+    if (s == nullptr)
+        return;
+    trace_pid_ = s->beginProcess(name());
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        cores_[c].setTraceIds(trace_pid_, static_cast<int>(c));
+        s->nameThread(static_cast<int>(c), "core" + std::to_string(c));
+    }
+    hierarchy_.dram().setTracePid(trace_pid_);
+    for (unsigned ch = 0; ch < params_.dram_channels; ++ch) {
+        s->nameThread(trace::kDramTidBase + static_cast<int>(ch),
+                      "dram.ch" + std::to_string(ch));
+    }
+    s->nameThread(trace::kEngineTid, "engine");
+}
+
+std::vector<CoreIntervalStats>
+BaselineMachine::coreIntervals() const
+{
+    std::vector<CoreIntervalStats> out;
+    out.reserve(cores_.size());
+    for (const auto &core : cores_) {
+        out.push_back({core.computeCycles(), core.memStallCycles(),
+                       core.atomicStallCycles(), core.syncStallCycles()});
+    }
+    return out;
+}
+
+void
+BaselineMachine::takeSample(SampleKind kind)
+{
+    recorder_->take(kind, global_cycles_, iteration_, report(),
+                    coreIntervals());
 }
 
 void
@@ -142,12 +206,24 @@ BaselineMachine::barrier()
     for (auto &core : cores_)
         core.syncTo(t);
     global_cycles_ = t;
+    if (recorder_ != nullptr && recorder_->cadenceDue(global_cycles_))
+        takeSample(SampleKind::Cadence);
 }
 
 void
 BaselineMachine::endIteration()
 {
     // Nothing to invalidate on the baseline.
+    ++iteration_;
+    if (recorder_ != nullptr)
+        takeSample(SampleKind::Iteration);
+}
+
+void
+BaselineMachine::recordFinalSample()
+{
+    if (recorder_ != nullptr)
+        takeSample(SampleKind::Final);
 }
 
 Cycles

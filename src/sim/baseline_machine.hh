@@ -11,7 +11,9 @@
 
 #include "sim/coherence.hh"
 #include "sim/core_model.hh"
+#include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
+#include "util/stats.hh"
 
 namespace omega {
 
@@ -39,20 +41,35 @@ class BaselineMachine : public MemorySystem
     const MachineParams &params() const override { return params_; }
     std::string name() const override { return "baseline"; }
 
+    void recordFinalSample() override;
+    const StatGroup *statTree() const override { return &stats_root_; }
+    void attachTracing() override;
+    int tracePid() const override { return trace_pid_; }
+
   private:
     void countVertexAccess(VertexId vertex);
+    void buildStatTree();
+    std::vector<CoreIntervalStats> coreIntervals() const;
+    void takeSample(SampleKind kind);
 
     MachineParams params_;
     MachineConfig config_;
     CacheHierarchy hierarchy_;
     std::vector<CoreModel> cores_;
     Cycles global_cycles_ = 0;
+    std::uint64_t iteration_ = 0;
+    int trace_pid_ = 0;
 
     std::uint64_t atomics_total_ = 0;
     std::uint64_t vtxprop_accesses_ = 0;
     std::uint64_t vtxprop_hot_accesses_ = 0;
     /** Sparse active-list appends per core (address generation). */
     std::vector<std::uint64_t> sparse_append_count_;
+
+    /** Stat tree: root -> {machine counters, cache.*, coreN.*}. */
+    StatGroup stats_root_{"baseline"};
+    StatGroup cache_group_{"cache"};
+    std::vector<std::unique_ptr<StatGroup>> core_groups_;
 };
 
 } // namespace omega

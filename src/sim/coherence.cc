@@ -220,6 +220,25 @@ CacheHierarchy::collect(StatsReport &out) const
 }
 
 void
+CacheHierarchy::addStats(StatGroup &group)
+{
+    group.addScalar("l1_accesses", &l1_accesses_, "L1D accesses");
+    group.addScalar("l1_hits", &l1_hits_, "L1D hits");
+    group.addScalar("l2_accesses", &l2_accesses_, "shared-L2 accesses");
+    group.addScalar("l2_hits", &l2_hits_, "shared-L2 hits");
+    group.addScalar("writebacks", &writebacks_, "dirty-line writebacks");
+    group.addScalar("upgrades", &upgrades_, "S->M upgrade transactions");
+    group.addScalar("invalidations", &invalidations_,
+                    "sharer invalidations sent");
+    group.addScalar("dirty_forwards", &dirty_forwards_,
+                    "3-hop dirty-owner forwards");
+    xbar_->addStats(xbar_group_);
+    dram_->addStats(dram_group_);
+    group.addChild(&xbar_group_);
+    group.addChild(&dram_group_);
+}
+
+void
 CacheHierarchy::flushAll()
 {
     for (auto &l1 : l1_)

@@ -28,6 +28,7 @@
 #include "sim/dram.hh"
 #include "sim/params.hh"
 #include "sim/stats_report.hh"
+#include "util/stats.hh"
 
 namespace omega {
 
@@ -60,6 +61,13 @@ class CacheHierarchy
     /** Copy hierarchy counters into @p out. */
     void collect(StatsReport &out) const;
 
+    /**
+     * Register cache/coherence counters in @p group and attach "xbar"
+     * and "dram" child groups (owned by this hierarchy) for the shared
+     * interconnect and memory. Call at most once per hierarchy.
+     */
+    void addStats(StatGroup &group);
+
     /** Invalidate all caches (between runs). */
     void flushAll();
 
@@ -74,6 +82,8 @@ class CacheHierarchy
     CacheArray l2_;
     std::unique_ptr<Crossbar> xbar_;
     std::unique_ptr<Dram> dram_;
+    StatGroup xbar_group_{"xbar"};
+    StatGroup dram_group_{"dram"};
 
     std::uint64_t l1_accesses_ = 0;
     std::uint64_t l1_hits_ = 0;

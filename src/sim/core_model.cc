@@ -8,8 +8,25 @@
 #include <algorithm>
 
 #include "util/check.hh"
+#include "util/stats.hh"
+#include "util/trace.hh"
 
 namespace omega {
+
+namespace {
+
+const char *
+stallEventName(StallKind kind)
+{
+    switch (kind) {
+      case StallKind::Memory: return "stall.memory";
+      case StallKind::Atomic: return "stall.atomic";
+      case StallKind::Sync: return "stall.sync";
+    }
+    return "stall";
+}
+
+} // namespace
 
 CoreModel::CoreModel(const MachineParams &params)
     : issue_width_(params.issue_width), mshrs_(params.mshrs)
@@ -35,6 +52,10 @@ CoreModel::stallUntil(Cycles t, StallKind kind)
     if (t <= clock_)
         return;
     const Cycles stall = t - clock_;
+    if (trace_pid_ > 0) {
+        trace::emitComplete(stallEventName(kind), "stall", trace_pid_,
+                            trace_tid_, clock_, stall);
+    }
     clock_ = t;
     switch (kind) {
       case StallKind::Memory:
@@ -105,6 +126,21 @@ CoreModel::syncTo(Cycles t)
                 "outstanding misses survived the pre-barrier drain");
     stallUntil(t, StallKind::Sync);
     omega_check(clock_ >= t, "core clock behind the barrier time");
+}
+
+void
+CoreModel::addStats(StatGroup &group) const
+{
+    group.addScalar("instructions", &instructions_,
+                    "instruction-equivalents retired");
+    group.addScalar("compute_cycles", &compute_cycles_,
+                    "cycles doing useful work");
+    group.addScalar("mem_stall_cycles", &mem_stall_cycles_,
+                    "cycles stalled on memory");
+    group.addScalar("atomic_stall_cycles", &atomic_stall_cycles_,
+                    "cycles stalled on atomics");
+    group.addScalar("sync_stall_cycles", &sync_stall_cycles_,
+                    "cycles stalled at barriers");
 }
 
 void

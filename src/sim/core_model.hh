@@ -23,6 +23,8 @@
 
 namespace omega {
 
+class StatGroup;
+
 /** Stall attribution buckets. */
 enum class StallKind : std::uint8_t { Memory, Atomic, Sync };
 
@@ -81,6 +83,19 @@ class CoreModel
     }
     std::uint64_t syncStallCycles() const { return sync_stall_cycles_; }
 
+    /**
+     * Identify this core for event tracing (machine pid, core-index tid).
+     * Until called, the core emits no trace events.
+     */
+    void setTraceIds(int pid, int tid)
+    {
+        trace_pid_ = pid;
+        trace_tid_ = tid;
+    }
+
+    /** Register this core's counters in @p group. */
+    void addStats(StatGroup &group) const;
+
     void reset();
 
   private:
@@ -88,6 +103,8 @@ class CoreModel
 
     unsigned issue_width_;
     unsigned mshrs_;
+    int trace_pid_ = 0;
+    int trace_tid_ = 0;
     Cycles clock_ = 0;
     /** Fractional instruction residue (sub-cycle issue accounting). */
     std::uint64_t op_residue_ = 0;

@@ -5,6 +5,8 @@
 
 #include "sim/crossbar.hh"
 
+#include "util/stats.hh"
+
 namespace omega {
 
 Crossbar::Crossbar(const MachineParams &params)
@@ -29,6 +31,14 @@ Crossbar::recordControl()
     ++packets_;
     bytes_ += header_bytes_;
     ++flits_;
+}
+
+void
+Crossbar::addStats(StatGroup &group) const
+{
+    group.addScalar("bytes", &bytes_, "on-chip bytes moved");
+    group.addScalar("flits", &flits_, "flits traversing the crossbar");
+    group.addScalar("packets", &packets_, "packets (data + control)");
 }
 
 void

@@ -19,6 +19,8 @@
 
 namespace omega {
 
+class StatGroup;
+
 /** Flit/byte accounting plus fixed latency helpers for the crossbar. */
 class Crossbar
 {
@@ -38,6 +40,9 @@ class Crossbar
     std::uint64_t bytes() const { return bytes_; }
     std::uint64_t flits() const { return flits_; }
     std::uint64_t packets() const { return packets_; }
+
+    /** Register traffic counters in @p group. */
+    void addStats(StatGroup &group) const;
 
     void reset();
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/trace.hh"
 
 namespace omega {
 
@@ -36,6 +37,7 @@ Dram::occupy(Cycles now, unsigned channel, std::uint32_t bytes)
     channel_free_[channel] = start + std::max<Cycles>(occupancy, 1);
     queue_cycles_ += start - now;
     max_queue_ = std::max(max_queue_, start - now);
+    queue_hist_.sample(static_cast<double>(start - now));
     return start;
 }
 
@@ -52,7 +54,15 @@ Dram::read(Cycles now, std::uint64_t addr, std::uint32_t bytes,
     // A prefetched stream line was requested ahead of the demand access,
     // hiding the array access latency — but it still needed a transfer
     // slot, so queueing (the bandwidth bound) reaches the core.
-    return (start - now) + (prefetched ? 0 : base_latency_) + transfer;
+    const Cycles latency =
+        (start - now) + (prefetched ? 0 : base_latency_) + transfer;
+    if (trace_pid_ > 0) {
+        trace::emitComplete(prefetched ? "dram.read.prefetched"
+                                       : "dram.read",
+                            "dram", trace_pid_, trace::kDramTidBase + ch,
+                            now, latency, "queued_cycles", start - now);
+    }
+    return latency;
 }
 
 void
@@ -60,7 +70,30 @@ Dram::write(Cycles now, std::uint64_t addr, std::uint32_t bytes)
 {
     ++writes_;
     write_bytes_ += bytes;
-    occupy(now, channelOf(addr), bytes);
+    const unsigned ch = channelOf(addr);
+    const Cycles start = occupy(now, ch, bytes);
+    if (trace_pid_ > 0) {
+        trace::emitComplete("dram.write", "dram", trace_pid_,
+                            trace::kDramTidBase + ch, now,
+                            (start - now) + 1, "queued_cycles",
+                            start - now);
+    }
+}
+
+void
+Dram::addStats(StatGroup &group) const
+{
+    group.addScalar("reads", &reads_, "DRAM read requests");
+    group.addScalar("writes", &writes_, "DRAM write requests");
+    group.addScalar("read_bytes", &read_bytes_, "bytes read from DRAM");
+    group.addScalar("write_bytes", &write_bytes_,
+                    "bytes written to DRAM");
+    group.addScalar("queue_cycles", &queue_cycles_,
+                    "total channel queueing delay");
+    group.addScalar("max_queue", &max_queue_,
+                    "worst single-request queueing delay");
+    group.addHistogram("queue_delay", &queue_hist_,
+                       "per-request channel queueing delay");
 }
 
 void
@@ -69,6 +102,7 @@ Dram::reset()
     std::fill(channel_free_.begin(), channel_free_.end(), 0);
     reads_ = writes_ = read_bytes_ = write_bytes_ = queue_cycles_ = 0;
     max_queue_ = 0;
+    queue_hist_.reset();
 }
 
 } // namespace omega

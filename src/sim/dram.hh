@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/params.hh"
+#include "util/stats.hh"
 
 namespace omega {
 
@@ -53,6 +54,18 @@ class Dram
     std::uint64_t queueCycles() const { return queue_cycles_; }
     /** Worst single-request queueing delay (diagnostic). */
     Cycles maxQueue() const { return max_queue_; }
+    /**
+     * Per-request queueing-delay distribution: the backlog (in cycles of
+     * occupancy) each request found on its channel — the channel-pressure
+     * signal behind the Fig 16 bandwidth saturation curve.
+     */
+    const Histogram &queueDelayHistogram() const { return queue_hist_; }
+
+    /** Identify this DRAM for event tracing (machine pid). */
+    void setTracePid(int pid) { trace_pid_ = pid; }
+
+    /** Register traffic counters and the queue histogram in @p group. */
+    void addStats(StatGroup &group) const;
 
     void reset();
 
@@ -64,6 +77,7 @@ class Dram
     Cycles base_latency_;
     double bytes_per_cycle_;
     unsigned line_bytes_;
+    int trace_pid_ = 0;
     std::vector<Cycles> channel_free_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
@@ -71,6 +85,7 @@ class Dram
     std::uint64_t write_bytes_ = 0;
     std::uint64_t queue_cycles_ = 0;
     Cycles max_queue_ = 0;
+    Histogram queue_hist_{0.0, 2048.0, 32};
 };
 
 } // namespace omega

@@ -23,6 +23,9 @@
 
 namespace omega {
 
+class IntervalRecorder;
+class StatGroup;
+
 /**
  * One vtxProp range, as written into the scratchpad controller's
  * address-monitoring registers (paper Fig 7): base address, primitive
@@ -103,6 +106,46 @@ class MemorySystem
 
     virtual const MachineParams &params() const = 0;
     virtual std::string name() const = 0;
+
+    /** @name Observability @{ */
+    /**
+     * Attach an interval recorder (not owned). The machine feeds it a
+     * sample whenever a cadence boundary is crossed at a barrier and at
+     * every iteration end. Pass nullptr to detach.
+     */
+    void attachIntervalRecorder(IntervalRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+    IntervalRecorder *intervalRecorder() const { return recorder_; }
+
+    /**
+     * Take a Final interval sample at the current time so the recorder's
+     * sum-of-deltas matches the end-of-run report() exactly. No-op when
+     * no recorder is attached.
+     */
+    virtual void recordFinalSample() {}
+
+    /**
+     * Root of the machine's StatGroup tree (dotted-path lookup over
+     * every component counter), or nullptr if the machine has none.
+     */
+    virtual const StatGroup *statTree() const { return nullptr; }
+
+    /**
+     * Register this machine with the installed trace sink: allocate its
+     * process track, name the per-core / per-engine / per-channel thread
+     * tracks, and arm component-level event emission. No-op when no sink
+     * is installed (or tracing was compiled out).
+     */
+    virtual void attachTracing() {}
+
+    /** Trace process id of this machine (0 when tracing is detached). */
+    virtual int tracePid() const { return 0; }
+    /** @} */
+
+  protected:
+    IntervalRecorder *recorder_ = nullptr;
 };
 
 } // namespace omega

@@ -1,11 +1,14 @@
 /**
  * @file
- * StatsReport derived-metric implementations.
+ * StatsReport derived metrics and table-driven counter plumbing.
  */
 
 #include "sim/stats_report.hh"
 
+#include <algorithm>
 #include <string>
+
+#include "util/json.hh"
 
 namespace omega {
 
@@ -18,6 +21,58 @@ ratio(std::uint64_t num, std::uint64_t den)
 }
 
 } // namespace
+
+const std::vector<StatsField> &
+StatsReport::fields()
+{
+    static const std::vector<StatsField> table = {
+        {"cycles", &StatsReport::cycles, StatKind::Time},
+        {"instructions", &StatsReport::instructions, StatKind::Sum},
+        {"l1_accesses", &StatsReport::l1_accesses, StatKind::Sum},
+        {"l1_hits", &StatsReport::l1_hits, StatKind::Sum},
+        {"l2_accesses", &StatsReport::l2_accesses, StatKind::Sum},
+        {"l2_hits", &StatsReport::l2_hits, StatKind::Sum},
+        {"writebacks", &StatsReport::writebacks, StatKind::Sum},
+        {"upgrades", &StatsReport::upgrades, StatKind::Sum},
+        {"invalidations", &StatsReport::invalidations, StatKind::Sum},
+        {"dirty_forwards", &StatsReport::dirty_forwards, StatKind::Sum},
+        {"sp_accesses", &StatsReport::sp_accesses, StatKind::Sum},
+        {"sp_local", &StatsReport::sp_local, StatKind::Sum},
+        {"sp_remote", &StatsReport::sp_remote, StatKind::Sum},
+        {"svb_hits", &StatsReport::svb_hits, StatKind::Sum},
+        {"svb_misses", &StatsReport::svb_misses, StatKind::Sum},
+        {"pisc_ops", &StatsReport::pisc_ops, StatKind::Sum},
+        {"pisc_busy_cycles", &StatsReport::pisc_busy_cycles, StatKind::Sum},
+        {"pisc_max_busy_cycles", &StatsReport::pisc_max_busy_cycles,
+         StatKind::Max},
+        {"pisc_blocked_conflicts", &StatsReport::pisc_blocked_conflicts,
+         StatKind::Sum},
+        {"atomics_total", &StatsReport::atomics_total, StatKind::Sum},
+        {"atomics_offloaded", &StatsReport::atomics_offloaded,
+         StatKind::Sum},
+        {"atomics_on_core", &StatsReport::atomics_on_core, StatKind::Sum},
+        {"onchip_bytes", &StatsReport::onchip_bytes, StatKind::Sum},
+        {"onchip_flits", &StatsReport::onchip_flits, StatKind::Sum},
+        {"onchip_packets", &StatsReport::onchip_packets, StatKind::Sum},
+        {"dram_reads", &StatsReport::dram_reads, StatKind::Sum},
+        {"dram_writes", &StatsReport::dram_writes, StatKind::Sum},
+        {"dram_read_bytes", &StatsReport::dram_read_bytes, StatKind::Sum},
+        {"dram_write_bytes", &StatsReport::dram_write_bytes, StatKind::Sum},
+        {"dram_queue_cycles", &StatsReport::dram_queue_cycles,
+         StatKind::Sum},
+        {"dram_max_queue", &StatsReport::dram_max_queue, StatKind::Max},
+        {"compute_cycles", &StatsReport::compute_cycles, StatKind::Sum},
+        {"mem_stall_cycles", &StatsReport::mem_stall_cycles, StatKind::Sum},
+        {"atomic_stall_cycles", &StatsReport::atomic_stall_cycles,
+         StatKind::Sum},
+        {"sync_stall_cycles", &StatsReport::sync_stall_cycles,
+         StatKind::Sum},
+        {"vtxprop_accesses", &StatsReport::vtxprop_accesses, StatKind::Sum},
+        {"vtxprop_hot_accesses", &StatsReport::vtxprop_hot_accesses,
+         StatKind::Sum},
+    };
+    return table;
+}
 
 double
 StatsReport::l1HitRate() const
@@ -75,83 +130,52 @@ StatsReport::hotVertexAccessFraction() const
 void
 StatsReport::accumulate(const StatsReport &other)
 {
-    instructions += other.instructions;
-    l1_accesses += other.l1_accesses;
-    l1_hits += other.l1_hits;
-    l2_accesses += other.l2_accesses;
-    l2_hits += other.l2_hits;
-    writebacks += other.writebacks;
-    upgrades += other.upgrades;
-    invalidations += other.invalidations;
-    dirty_forwards += other.dirty_forwards;
-    sp_accesses += other.sp_accesses;
-    sp_local += other.sp_local;
-    sp_remote += other.sp_remote;
-    svb_hits += other.svb_hits;
-    svb_misses += other.svb_misses;
-    pisc_ops += other.pisc_ops;
-    pisc_busy_cycles += other.pisc_busy_cycles;
-    pisc_blocked_conflicts += other.pisc_blocked_conflicts;
-    atomics_total += other.atomics_total;
-    atomics_offloaded += other.atomics_offloaded;
-    atomics_on_core += other.atomics_on_core;
-    onchip_bytes += other.onchip_bytes;
-    onchip_flits += other.onchip_flits;
-    onchip_packets += other.onchip_packets;
-    dram_reads += other.dram_reads;
-    dram_writes += other.dram_writes;
-    dram_read_bytes += other.dram_read_bytes;
-    dram_write_bytes += other.dram_write_bytes;
-    dram_queue_cycles += other.dram_queue_cycles;
-    compute_cycles += other.compute_cycles;
-    mem_stall_cycles += other.mem_stall_cycles;
-    atomic_stall_cycles += other.atomic_stall_cycles;
-    sync_stall_cycles += other.sync_stall_cycles;
-    vtxprop_accesses += other.vtxprop_accesses;
-    vtxprop_hot_accesses += other.vtxprop_hot_accesses;
+    for (const StatsField &f : fields()) {
+        switch (f.kind) {
+          case StatKind::Sum:
+            this->*f.member += other.*f.member;
+            break;
+          case StatKind::Max:
+            this->*f.member = std::max(this->*f.member, other.*f.member);
+            break;
+          case StatKind::Time:
+            break; // a time, not a counter: keep ours
+        }
+    }
+}
+
+StatsReport
+StatsReport::deltaFrom(const StatsReport &prev) const
+{
+    StatsReport d;
+    for (const StatsField &f : fields()) {
+        switch (f.kind) {
+          case StatKind::Sum:
+          case StatKind::Time:
+            d.*f.member = this->*f.member - prev.*f.member;
+            break;
+          case StatKind::Max:
+            d.*f.member = this->*f.member;
+            break;
+        }
+    }
+    return d;
 }
 
 void
 StatsReport::dump(std::ostream &os, const std::string &prefix) const
 {
-    auto line = [&os, &prefix](const char *name, std::uint64_t v) {
-        os << prefix << "." << name << " " << v << "\n";
-    };
-    line("cycles", cycles);
-    line("instructions", instructions);
-    line("l1_accesses", l1_accesses);
-    line("l1_hits", l1_hits);
-    line("l2_accesses", l2_accesses);
-    line("l2_hits", l2_hits);
-    line("writebacks", writebacks);
-    line("upgrades", upgrades);
-    line("invalidations", invalidations);
-    line("dirty_forwards", dirty_forwards);
-    line("sp_accesses", sp_accesses);
-    line("sp_local", sp_local);
-    line("sp_remote", sp_remote);
-    line("svb_hits", svb_hits);
-    line("svb_misses", svb_misses);
-    line("pisc_ops", pisc_ops);
-    line("pisc_busy_cycles", pisc_busy_cycles);
-    line("pisc_blocked_conflicts", pisc_blocked_conflicts);
-    line("atomics_total", atomics_total);
-    line("atomics_offloaded", atomics_offloaded);
-    line("atomics_on_core", atomics_on_core);
-    line("onchip_bytes", onchip_bytes);
-    line("onchip_flits", onchip_flits);
-    line("onchip_packets", onchip_packets);
-    line("dram_reads", dram_reads);
-    line("dram_writes", dram_writes);
-    line("dram_read_bytes", dram_read_bytes);
-    line("dram_write_bytes", dram_write_bytes);
-    line("dram_queue_cycles", dram_queue_cycles);
-    line("compute_cycles", compute_cycles);
-    line("mem_stall_cycles", mem_stall_cycles);
-    line("atomic_stall_cycles", atomic_stall_cycles);
-    line("sync_stall_cycles", sync_stall_cycles);
-    line("vtxprop_accesses", vtxprop_accesses);
-    line("vtxprop_hot_accesses", vtxprop_hot_accesses);
+    for (const StatsField &f : fields())
+        os << prefix << "." << f.name << " " << this->*f.member << "\n";
+}
+
+void
+StatsReport::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const StatsField &f : fields())
+        w.field(f.name, this->*f.member);
+    w.endObject();
 }
 
 } // namespace omega

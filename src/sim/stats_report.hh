@@ -12,10 +12,34 @@
 
 #include <cstdint>
 #include <ostream>
+#include <vector>
 
 #include "sim/params.hh"
 
 namespace omega {
+
+class JsonWriter;
+struct StatsReport;
+
+/** How a counter combines across reports (accumulate / interval deltas). */
+enum class StatKind : std::uint8_t
+{
+    /** Plain event count: merging sums, interval deltas subtract. */
+    Sum,
+    /** High-water mark: merging takes the max; deltas keep the
+     *  cumulative value (a max has no meaningful per-interval delta). */
+    Max,
+    /** A point in time (cycles): merging keeps ours, deltas subtract. */
+    Time,
+};
+
+/** One entry of the reflection table over StatsReport's counters. */
+struct StatsField
+{
+    const char *name;
+    std::uint64_t StatsReport::*member;
+    StatKind kind;
+};
 
 /** Flat counter bundle; all fields are totals across cores/banks. */
 struct StatsReport
@@ -100,11 +124,32 @@ struct StatsReport
     double hotVertexAccessFraction() const;
     /** @} */
 
-    /** Merge another report's counters into this one (not `cycles`). */
+    /**
+     * The reflection table: every counter above, with its merge kind.
+     * accumulate/deltaFrom/dump/writeJson all iterate this table, so a
+     * new counter added here is automatically handled everywhere.
+     */
+    static const std::vector<StatsField> &fields();
+
+    /**
+     * Merge another report's counters into this one: Sum fields add,
+     * Max fields (pisc_max_busy_cycles, dram_max_queue) take the max,
+     * and `cycles` (a time, not a counter) is left alone.
+     */
     void accumulate(const StatsReport &other);
+
+    /**
+     * Per-interval delta against an earlier snapshot of the same run:
+     * Sum fields and `cycles` subtract; Max fields carry the cumulative
+     * high-water mark through unchanged.
+     */
+    StatsReport deltaFrom(const StatsReport &prev) const;
 
     /** Dump all counters, one per line. */
     void dump(std::ostream &os, const std::string &prefix = "sim") const;
+
+    /** Emit all counters as one JSON object value. */
+    void writeJson(JsonWriter &w) const;
 };
 
 } // namespace omega

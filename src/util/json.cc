@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Streaming JSON writer implementation.
+ */
+
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace omega {
+
+JsonWriter::JsonWriter(std::ostream &os, bool pretty)
+    : os_(os), pretty_(pretty)
+{
+}
+
+void
+JsonWriter::newline()
+{
+    if (!pretty_)
+        return;
+    os_ << "\n";
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prepareValue()
+{
+    omega_assert(!done_, "JsonWriter: emission after the root closed");
+    if (stack_.empty()) {
+        // Root value: exactly one is allowed.
+        return;
+    }
+    if (stack_.back() == Frame::Object) {
+        omega_assert(have_key_, "JsonWriter: object value without a key");
+        have_key_ = false;
+        return;
+    }
+    // Array element.
+    if (!first_)
+        os_ << ",";
+    newline();
+    first_ = false;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    omega_assert(!done_, "JsonWriter: key after the root closed");
+    omega_assert(!stack_.empty() && stack_.back() == Frame::Object,
+                 "JsonWriter: key outside an object");
+    omega_assert(!have_key_, "JsonWriter: two keys in a row");
+    if (!first_)
+        os_ << ",";
+    newline();
+    first_ = false;
+    os_ << "\"" << escape(k) << "\":";
+    if (pretty_)
+        os_ << " ";
+    have_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prepareValue();
+    os_ << "{";
+    stack_.push_back(Frame::Object);
+    first_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    omega_assert(!stack_.empty() && stack_.back() == Frame::Object,
+                 "JsonWriter: endObject without beginObject");
+    omega_assert(!have_key_, "JsonWriter: endObject with a dangling key");
+    const bool empty = first_;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << "}";
+    first_ = false;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prepareValue();
+    os_ << "[";
+    stack_.push_back(Frame::Array);
+    first_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    omega_assert(!stack_.empty() && stack_.back() == Frame::Array,
+                 "JsonWriter: endArray without beginArray");
+    const bool empty = first_;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << "]";
+    first_ = false;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    prepareValue();
+    os_ << "\"" << escape(v) << "\"";
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null(); // JSON has no NaN/Inf
+    prepareValue();
+    if (std::floor(v) == v && std::abs(v) < 1e15) {
+        os_ << static_cast<long long>(v);
+    } else {
+        // Shortest round-trip representation, locale-independent.
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.*g",
+                      std::numeric_limits<double>::max_digits10, v);
+        os_ << buf;
+    }
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prepareValue();
+    os_ << v;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    prepareValue();
+    os_ << v;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prepareValue();
+    os_ << (v ? "true" : "false");
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    prepareValue();
+    os_ << "null";
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &json)
+{
+    prepareValue();
+    os_ << json;
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace omega

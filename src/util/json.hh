@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * The observability layer (bench --json documents, Chrome trace export,
+ * stat-tree serialization) needs deterministic, dependency-free JSON
+ * output. JsonWriter emits tokens directly into an ostream with correct
+ * comma placement and string escaping; it never buffers a document, so
+ * multi-megabyte trace files stream in O(1) memory. Output is fully
+ * deterministic for identical call sequences — doubles round-trip via
+ * max_digits10 and non-finite values degrade to null (JSON has no NaN).
+ */
+
+#ifndef OMEGA_UTIL_JSON_HH
+#define OMEGA_UTIL_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/** Stack-tracked writer; misuse (value with no key inside an object,
+ *  mismatched end calls) is a hard error. */
+class JsonWriter
+{
+  public:
+    /**
+     * @param os destination stream.
+     * @param pretty two-space indentation and newlines; compact otherwise.
+     */
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+
+    /** @name Containers. @{ */
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    /** @} */
+
+    /** Emit an object key; the next value/container call is its value. */
+    JsonWriter &key(const std::string &k);
+
+    /** @name Values. @{ */
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+    /**
+     * Splice pre-rendered JSON verbatim (already-serialized sub-documents).
+     * The caller guarantees @p json is itself valid JSON.
+     */
+    JsonWriter &rawValue(const std::string &json);
+    /** @} */
+
+    /** @name key+value in one call. @{ */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+    /** @} */
+
+    /** True once the root container has been closed. */
+    bool complete() const { return done_; }
+
+    /** JSON-escape @p s (without surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Frame : std::uint8_t { Object, Array };
+
+    /** Comma/indent bookkeeping before a value or container opener. */
+    void prepareValue();
+    void newline();
+
+    std::ostream &os_;
+    bool pretty_;
+    bool done_ = false;
+    /** The next emission in the current frame is the first one. */
+    bool first_ = true;
+    /** A key was emitted and awaits its value. */
+    bool have_key_ = false;
+    std::vector<Frame> stack_;
+};
+
+} // namespace omega
+
+#endif // OMEGA_UTIL_JSON_HH

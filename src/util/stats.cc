@@ -10,6 +10,7 @@
 #include <iomanip>
 #include <limits>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace omega {
@@ -76,6 +77,8 @@ void
 StatGroup::addCounter(const std::string &name, const Counter *c,
                       const std::string &desc)
 {
+    omega_assert(entries_.find(name) == entries_.end(),
+                 "duplicate stat registration: ", name_, ".", name);
     entries_[name] = Entry{Entry::Kind::CounterK, c, desc};
 }
 
@@ -83,6 +86,8 @@ void
 StatGroup::addScalar(const std::string &name, const double *v,
                      const std::string &desc)
 {
+    omega_assert(entries_.find(name) == entries_.end(),
+                 "duplicate stat registration: ", name_, ".", name);
     entries_[name] = Entry{Entry::Kind::ScalarD, v, desc};
 }
 
@@ -90,6 +95,8 @@ void
 StatGroup::addScalar(const std::string &name, const std::uint64_t *v,
                      const std::string &desc)
 {
+    omega_assert(entries_.find(name) == entries_.end(),
+                 "duplicate stat registration: ", name_, ".", name);
     entries_[name] = Entry{Entry::Kind::ScalarU, v, desc};
 }
 
@@ -97,12 +104,19 @@ void
 StatGroup::addHistogram(const std::string &name, const Histogram *h,
                         const std::string &desc)
 {
+    omega_assert(entries_.find(name) == entries_.end(),
+                 "duplicate stat registration: ", name_, ".", name);
     entries_[name] = Entry{Entry::Kind::HistogramK, h, desc};
 }
 
 void
 StatGroup::addChild(StatGroup *child)
 {
+    for (const StatGroup *existing : children_) {
+        omega_assert(existing->name() != child->name(),
+                     "duplicate stat child group: ", name_, ".",
+                     child->name());
+    }
     children_.push_back(child);
 }
 
@@ -143,6 +157,40 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
     }
     for (const auto *child : children_)
         child->dump(os, full);
+}
+
+void
+StatGroup::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const auto &[name, e] : entries_) {
+        w.key(name);
+        if (e.kind == Entry::Kind::HistogramK) {
+            const auto *h = static_cast<const Histogram *>(e.ptr);
+            w.beginObject();
+            w.field("count", h->count());
+            w.field("sum", h->sum());
+            w.field("mean", h->mean());
+            w.field("min", h->min());
+            w.field("max", h->max());
+            w.field("p50", h->quantile(0.5));
+            w.field("p95", h->quantile(0.95));
+            w.field("underflow", h->underflow());
+            w.field("overflow", h->overflow());
+            w.key("buckets").beginArray();
+            for (std::size_t i = 0; i < h->numBuckets(); ++i)
+                w.value(h->bucketCount(i));
+            w.endArray();
+            w.endObject();
+        } else {
+            w.value(entryValue(e));
+        }
+    }
+    for (const StatGroup *child : children_) {
+        w.key(child->name());
+        child->writeJson(w);
+    }
+    w.endObject();
 }
 
 double

@@ -19,6 +19,8 @@
 
 namespace omega {
 
+class JsonWriter;
+
 /** Monotonic event counter. */
 class Counter
 {
@@ -87,6 +89,10 @@ class Histogram
  * Components own their counters directly (for speed) and register pointers
  * here for reporting. The group does not own registered objects; their
  * lifetime must cover the group's dump calls.
+ *
+ * Registering two entries (or two children) under the same name in one
+ * group is a hard error: silently shadowing a counter would corrupt every
+ * downstream report, so the collision aborts at registration time.
  */
 class StatGroup
 {
@@ -111,6 +117,13 @@ class StatGroup
 
     /** Render the tree as "group.stat  value  # desc" lines. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Emit the subtree as one JSON object value: scalars/counters as
+     * numbers, histograms as {count, sum, mean, min, max, p50, p95,
+     * underflow, overflow, buckets}, children as nested objects.
+     */
+    void writeJson(JsonWriter &w) const;
 
     /** Look up a registered value by dotted path; returns NaN if missing. */
     double lookup(const std::string &dotted_path) const;

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * TraceSink implementation and Chrome trace_event rendering.
+ */
+
+#include "util/trace.hh"
+
+#include "util/json.hh"
+
+namespace omega {
+namespace trace {
+
+namespace {
+
+TraceSink *g_sink = nullptr;
+
+} // namespace
+
+void
+setSink(TraceSink *sink)
+{
+    g_sink = sink;
+}
+
+TraceSink *
+sink()
+{
+    return g_sink;
+}
+
+TraceSink::TraceSink(std::size_t max_events) : max_events_(max_events)
+{
+}
+
+int
+TraceSink::beginProcess(const std::string &name)
+{
+    const int pid = next_pid_++;
+    processes_.push_back(ProcessMeta{pid, name});
+    current_pid_ = pid;
+    return pid;
+}
+
+void
+TraceSink::nameThread(int tid, const std::string &name)
+{
+    threads_.push_back(ThreadMeta{current_pid_, tid, name});
+}
+
+bool
+TraceSink::push(const TraceEvent &e)
+{
+    if (max_events_ && events_.size() >= max_events_) {
+        ++dropped_;
+        return false;
+    }
+    events_.push_back(e);
+    return true;
+}
+
+void
+TraceSink::complete(const char *name, const char *category, int pid,
+                    int tid, std::uint64_t ts, std::uint64_t dur,
+                    const char *arg_name, std::uint64_t arg_value)
+{
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.phase = 'X';
+    e.ts = ts;
+    e.dur = dur;
+    e.pid = pid;
+    e.tid = tid;
+    e.arg_name = arg_name;
+    e.arg_value = arg_value;
+    push(e);
+}
+
+void
+TraceSink::instant(const char *name, const char *category, int pid, int tid,
+                   std::uint64_t ts, const char *arg_name,
+                   std::uint64_t arg_value)
+{
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.phase = 'i';
+    e.ts = ts;
+    e.pid = pid;
+    e.tid = tid;
+    e.arg_name = arg_name;
+    e.arg_value = arg_value;
+    push(e);
+}
+
+void
+TraceSink::counter(const char *name, int pid, int tid, std::uint64_t ts,
+                   const char *series, std::uint64_t value)
+{
+    TraceEvent e;
+    e.name = name;
+    e.category = "counter";
+    e.phase = 'C';
+    e.ts = ts;
+    e.pid = pid;
+    e.tid = tid;
+    e.arg_name = series;
+    e.arg_value = value;
+    push(e);
+}
+
+void
+TraceSink::writeChromeTrace(std::ostream &os) const
+{
+    // Compact rendering: trace files are large and tooling-only.
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+
+    // Metadata first: process and thread names.
+    for (const auto &p : processes_) {
+        w.beginObject();
+        w.field("name", "process_name");
+        w.field("ph", "M");
+        w.field("pid", p.pid);
+        w.field("tid", 0);
+        w.key("args").beginObject().field("name", p.name).endObject();
+        w.endObject();
+    }
+    for (const auto &t : threads_) {
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", t.pid);
+        w.field("tid", t.tid);
+        w.key("args").beginObject().field("name", t.name).endObject();
+        w.endObject();
+    }
+
+    for (const TraceEvent &e : events_) {
+        w.beginObject();
+        w.field("name", e.name);
+        w.field("cat", e.category);
+        w.key("ph").value(std::string(1, e.phase));
+        w.field("ts", e.ts);
+        if (e.phase == 'X')
+            w.field("dur", e.dur);
+        w.field("pid", e.pid);
+        w.field("tid", e.tid);
+        if (e.phase == 'i')
+            w.field("s", "t"); // thread-scoped instant
+        if (e.arg_name) {
+            w.key("args")
+                .beginObject()
+                .field(e.arg_name, e.arg_value)
+                .endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.field("displayTimeUnit", "ns");
+    w.key("otherData").beginObject();
+    w.field("clock", "simulated-cycles");
+    w.field("dropped_events", static_cast<std::uint64_t>(dropped_));
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+void
+TraceSink::clear()
+{
+    processes_.clear();
+    threads_.clear();
+    events_.clear();
+    dropped_ = 0;
+    next_pid_ = 1;
+    current_pid_ = 0;
+}
+
+} // namespace trace
+} // namespace omega

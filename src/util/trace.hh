@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Simulated-event tracing with Chrome trace_event export.
+ *
+ * The timing models emit typed events — core stall spans, DRAM request
+ * lifecycles, atomic offload dispatch-to-PISC-completion spans, SVB
+ * invalidation epochs, engine iteration markers — into a process-global
+ * TraceSink. The sink renders the Chrome trace_event JSON array format
+ * (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+ * loadable in Perfetto / chrome://tracing, with:
+ *
+ *   pid = machine instance (one process track per constructed machine),
+ *   tid = core index, or kPiscTidBase + engine, or kDramTidBase + channel,
+ *   ts  = simulated cycles (1 "us" in the viewer == 1 cycle).
+ *
+ * Tracing never affects simulated timing: events are pure observations,
+ * so cycle counts are identical with tracing on, off, or compiled out.
+ *
+ * Compile-time gate: the CMake option OMEGA_TRACE (default ON) defines
+ * OMEGA_TRACE_ENABLED. When OFF, the emission helpers below are empty
+ * inline functions and every call site compiles to nothing; the TraceSink
+ * class itself stays available so harness code builds unconditionally
+ * (a sink just never receives events).
+ *
+ * Runtime gate: emission helpers are no-ops unless a sink is installed
+ * via trace::setSink() — one relaxed global load + branch per event site
+ * on the hot path.
+ */
+
+#ifndef OMEGA_UTIL_TRACE_HH
+#define OMEGA_UTIL_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+class JsonWriter;
+
+namespace trace {
+
+/** tid namespaces within one machine's process track. */
+constexpr int kPiscTidBase = 100;
+constexpr int kDramTidBase = 200;
+constexpr int kEngineTid = 300;
+
+/** One recorded event (Chrome trace_event phases we use: X, i, C). */
+struct TraceEvent
+{
+    /** Static strings only: event names come from string literals. */
+    const char *name = "";
+    const char *category = "";
+    /** 'X' complete, 'i' instant, 'C' counter. */
+    char phase = 'X';
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;
+    int pid = 0;
+    int tid = 0;
+    /** Optional single numeric argument (counter value, vertex id, ...). */
+    const char *arg_name = nullptr;
+    std::uint64_t arg_value = 0;
+};
+
+/** Collects events for one tracing session and renders Chrome JSON. */
+class TraceSink
+{
+  public:
+    /**
+     * @param max_events drop (and count) events beyond this bound so a
+     *        runaway sweep cannot exhaust memory; 0 means unlimited.
+     */
+    explicit TraceSink(std::size_t max_events = 4'000'000);
+
+    /** @name Track naming (metadata events). @{ */
+    /** Register a machine; returns its pid and makes it current. */
+    int beginProcess(const std::string &name);
+    /** Name a thread track within the current process. */
+    void nameThread(int tid, const std::string &name);
+    int currentPid() const { return current_pid_; }
+    /** @} */
+
+    /** @name Event recording (ts/dur in simulated cycles). @{ */
+    void complete(const char *name, const char *category, int pid, int tid,
+                  std::uint64_t ts, std::uint64_t dur,
+                  const char *arg_name = nullptr,
+                  std::uint64_t arg_value = 0);
+    void instant(const char *name, const char *category, int pid, int tid,
+                 std::uint64_t ts, const char *arg_name = nullptr,
+                 std::uint64_t arg_value = 0);
+    void counter(const char *name, int pid, int tid, std::uint64_t ts,
+                 const char *series, std::uint64_t value);
+    /** @} */
+
+    std::size_t numEvents() const { return events_.size(); }
+    std::size_t numDropped() const { return dropped_; }
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /**
+     * Render the Chrome trace_event JSON document ({"traceEvents": [...]},
+     * plus metadata). Deterministic for identical recorded sequences.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Discard all recorded events (metadata included). */
+    void clear();
+
+  private:
+    struct ProcessMeta
+    {
+        int pid;
+        std::string name;
+    };
+    struct ThreadMeta
+    {
+        int pid;
+        int tid;
+        std::string name;
+    };
+
+    bool push(const TraceEvent &e);
+
+    std::size_t max_events_;
+    std::size_t dropped_ = 0;
+    int next_pid_ = 1;
+    int current_pid_ = 0;
+    std::vector<ProcessMeta> processes_;
+    std::vector<ThreadMeta> threads_;
+    std::vector<TraceEvent> events_;
+};
+
+/** @name Global sink management (not owned; caller controls lifetime). @{ */
+void setSink(TraceSink *sink);
+TraceSink *sink();
+/** @} */
+
+/** True when OMEGA_TRACE was compiled in. */
+constexpr bool
+compiledIn()
+{
+#ifdef OMEGA_TRACE_ENABLED
+    return true;
+#else
+    return false;
+#endif
+}
+
+/** True when events will actually be recorded right now. */
+inline bool
+active()
+{
+#ifdef OMEGA_TRACE_ENABLED
+    return sink() != nullptr;
+#else
+    return false;
+#endif
+}
+
+/** @name Gated emission helpers (the only calls on model hot paths). @{ */
+
+inline void
+emitComplete(const char *name, const char *category, int pid, int tid,
+             std::uint64_t ts, std::uint64_t dur,
+             const char *arg_name = nullptr, std::uint64_t arg_value = 0)
+{
+#ifdef OMEGA_TRACE_ENABLED
+    if (TraceSink *s = sink())
+        s->complete(name, category, pid, tid, ts, dur, arg_name, arg_value);
+#else
+    (void)name; (void)category; (void)pid; (void)tid; (void)ts; (void)dur;
+    (void)arg_name; (void)arg_value;
+#endif
+}
+
+inline void
+emitInstant(const char *name, const char *category, int pid, int tid,
+            std::uint64_t ts, const char *arg_name = nullptr,
+            std::uint64_t arg_value = 0)
+{
+#ifdef OMEGA_TRACE_ENABLED
+    if (TraceSink *s = sink())
+        s->instant(name, category, pid, tid, ts, arg_name, arg_value);
+#else
+    (void)name; (void)category; (void)pid; (void)tid; (void)ts;
+    (void)arg_name; (void)arg_value;
+#endif
+}
+
+inline void
+emitCounter(const char *name, int pid, int tid, std::uint64_t ts,
+            const char *series, std::uint64_t value)
+{
+#ifdef OMEGA_TRACE_ENABLED
+    if (TraceSink *s = sink())
+        s->counter(name, pid, tid, ts, series, value);
+#else
+    (void)name; (void)pid; (void)tid; (void)ts; (void)series; (void)value;
+#endif
+}
+
+/** @} */
+
+} // namespace trace
+} // namespace omega
+
+#endif // OMEGA_UTIL_TRACE_HH

@@ -16,11 +16,18 @@
 #include <cstdlib>
 #include <limits>
 
+#include <sstream>
+#include <utility>
+
 #include "graph/builder.hh"
+#include "sim/interval_stats.hh"
 #include "testing/capture.hh"
 #include "testing/differential.hh"
 #include "testing/fuzz.hh"
 #include "testing/invariants.hh"
+#include "util/json.hh"
+#include "util/stats.hh"
+#include "util/trace.hh"
 
 namespace omega {
 namespace testing {
@@ -267,6 +274,53 @@ TEST(Differential, RerunIsBitIdenticalIncludingTiming)
             << machineVariantName(variant);
         EXPECT_EQ(first.second, second.second)
             << machineVariantName(variant);
+    }
+}
+
+TEST(Differential, ObservabilityOutputIsByteIdentical)
+{
+    // The observability layer must inherit the determinism guarantee:
+    // two identical seeded runs serialize byte-identical stats JSON
+    // (report + interval series + stat tree) and trace documents.
+    const FuzzSpec spec = FuzzSpec::fromSeed(7);
+    const Graph g = spec.materialize();
+
+    auto serialize = [&](MachineVariant variant) {
+        trace::TraceSink sink;
+        trace::setSink(&sink);
+        auto mach = makeMachine(variant, 1.0 / 64.0);
+        mach->attachTracing();
+        IntervalRecorder rec(1'000);
+        mach->attachIntervalRecorder(&rec);
+        captureAlgorithm(AlgorithmKind::PageRank, g, mach.get(),
+                         EngineOptions{}, spec.seed);
+        mach->recordFinalSample();
+        trace::setSink(nullptr);
+
+        std::ostringstream stats;
+        JsonWriter w(stats, /*pretty=*/false);
+        w.beginObject();
+        w.key("report");
+        mach->report().writeJson(w);
+        w.key("intervals");
+        rec.writeJson(w);
+        w.key("stat_tree");
+        mach->statTree()->writeJson(w);
+        w.endObject();
+
+        std::ostringstream trace_doc;
+        sink.writeChromeTrace(trace_doc);
+        return std::make_pair(stats.str(), trace_doc.str());
+    };
+
+    for (MachineVariant variant :
+         {MachineVariant::Baseline, MachineVariant::Omega}) {
+        SCOPED_TRACE(machineVariantName(variant));
+        const auto first = serialize(variant);
+        const auto second = serialize(variant);
+        EXPECT_EQ(first.first, second.first);
+        EXPECT_EQ(first.second, second.second);
+        EXPECT_GT(first.first.size(), 1'000u); // genuinely populated
     }
 }
 

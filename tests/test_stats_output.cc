@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "sim/stats_report.hh"
+#include "util/json.hh"
 
 namespace omega {
 namespace {
@@ -87,6 +88,81 @@ TEST(StatsReport, AccumulateSumsCountersNotCycles)
     EXPECT_EQ(a.cycles, 2'000'000u);
 }
 
+TEST(StatsReport, AccumulateTakesMaxForHighWaterMarks)
+{
+    // Regression: accumulate used to drop pisc_max_busy_cycles and
+    // dram_max_queue entirely (they are maxima, not sums, so the plain
+    // += loop had skipped them). They must merge as max().
+    StatsReport a;
+    a.pisc_max_busy_cycles = 700;
+    a.dram_max_queue = 40;
+    StatsReport b;
+    b.pisc_max_busy_cycles = 300;
+    b.dram_max_queue = 90;
+    a.accumulate(b);
+    EXPECT_EQ(a.pisc_max_busy_cycles, 700u);
+    EXPECT_EQ(a.dram_max_queue, 90u);
+    // And the other direction: a smaller running value is overtaken.
+    StatsReport c;
+    c.pisc_max_busy_cycles = 9'000;
+    a.accumulate(c);
+    EXPECT_EQ(a.pisc_max_busy_cycles, 9'000u);
+    EXPECT_EQ(a.dram_max_queue, 90u);
+}
+
+TEST(StatsReport, FieldsTableCoversTheWholeStruct)
+{
+    // Every std::uint64_t in StatsReport must be listed exactly once in
+    // the reflection table; a forgotten field would silently drop out of
+    // accumulate/deltaFrom/dump/writeJson.
+    EXPECT_EQ(StatsReport::fields().size() * sizeof(std::uint64_t),
+              sizeof(StatsReport));
+    // ... and each member pointer must be distinct (member pointers are
+    // not orderable, so compare every pair).
+    const auto &fields = StatsReport::fields();
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        for (std::size_t j = i + 1; j < fields.size(); ++j) {
+            EXPECT_FALSE(fields[i].member == fields[j].member)
+                << fields[i].name << " aliases " << fields[j].name;
+        }
+    }
+}
+
+TEST(StatsReport, DeltaFromSubtractsSumsAndKeepsMaxima)
+{
+    StatsReport prev = sample();
+    StatsReport cur = sample();
+    cur.cycles = 3'000'000;
+    cur.l1_accesses += 5'000;
+    cur.dram_read_bytes += 64;
+    cur.pisc_max_busy_cycles = 1'234;
+    const StatsReport d = cur.deltaFrom(prev);
+    EXPECT_EQ(d.cycles, 1'000'000u);
+    EXPECT_EQ(d.l1_accesses, 5'000u);
+    EXPECT_EQ(d.dram_read_bytes, 64u);
+    EXPECT_EQ(d.l2_accesses, 0u);
+    // Max fields carry the cumulative high-water mark through.
+    EXPECT_EQ(d.pisc_max_busy_cycles, 1'234u);
+}
+
+TEST(StatsReport, DeltasSumBackToCumulative)
+{
+    // Chained snapshots: the sum of the deltas equals the last cumulative
+    // report (the interval-series accounting identity).
+    StatsReport s1;
+    s1.cycles = 100;
+    s1.l1_accesses = 10;
+    StatsReport s2 = s1;
+    s2.cycles = 250;
+    s2.l1_accesses = 17;
+    s2.dram_reads = 3;
+    StatsReport total;
+    total.accumulate(s1.deltaFrom(StatsReport{}));
+    total.accumulate(s2.deltaFrom(s1));
+    EXPECT_EQ(total.l1_accesses, s2.l1_accesses);
+    EXPECT_EQ(total.dram_reads, s2.dram_reads);
+}
+
 TEST(StatsReport, DumpContainsEveryHeadlineCounter)
 {
     std::ostringstream os;
@@ -95,7 +171,9 @@ TEST(StatsReport, DumpContainsEveryHeadlineCounter)
     for (const char *key :
          {"m.cycles", "m.l1_accesses", "m.l2_hits", "m.sp_accesses",
           "m.dram_read_bytes", "m.atomics_total", "m.mem_stall_cycles",
-          "m.vtxprop_hot_accesses", "m.onchip_bytes"}) {
+          "m.vtxprop_hot_accesses", "m.onchip_bytes",
+          // Regression: the max-type counters used to be missing here.
+          "m.pisc_max_busy_cycles", "m.dram_max_queue"}) {
         EXPECT_NE(out.find(key), std::string::npos) << key;
     }
 }

@@ -134,6 +134,62 @@ TEST(Histogram, QuantileApproximation)
     EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
 }
 
+TEST(Histogram, QuantileEmptyHistogramIsZero)
+{
+    const Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileExtremesClampToRange)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);
+    // p=0 resolves to the first populated bucket's midpoint; p=1 (and
+    // anything beyond, after clamping) to the range's upper bound.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileAllUnderflow)
+{
+    Histogram h(10.0, 20.0, 5);
+    for (int i = 0; i < 4; ++i)
+        h.sample(-1.0);
+    // Every sample sits below the range: all mass reports as lo.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+    EXPECT_EQ(h.underflow(), 4u);
+}
+
+TEST(Histogram, QuantileAllOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (int i = 0; i < 4; ++i)
+        h.sample(99.0);
+    // Every sample sits above the range: all mass reports as hi.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+    EXPECT_EQ(h.overflow(), 4u);
+}
+
+TEST(Histogram, QuantileSingleBucket)
+{
+    Histogram h(0.0, 10.0, 1);
+    h.sample(1.0);
+    h.sample(9.0);
+    // One bucket: every interior quantile is its midpoint.
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
 TEST(Histogram, ResetClearsEverything)
 {
     Histogram h(0.0, 1.0, 4);
@@ -169,6 +225,48 @@ TEST(StatGroup, DumpAndLookup)
     EXPECT_DOUBLE_EQ(root.lookup("accesses"), 42.0);
     EXPECT_DOUBLE_EQ(root.lookup("l2.hits"), 7.0);
     EXPECT_TRUE(std::isnan(root.lookup("nope")));
+}
+
+TEST(StatGroup, LookupMissingPathsAreNaN)
+{
+    StatGroup root("machine");
+    Counter c;
+    root.addCounter("accesses", &c);
+    StatGroup child("l2");
+    Counter hits;
+    child.addCounter("hits", &hits);
+    root.addChild(&child);
+
+    EXPECT_TRUE(std::isnan(root.lookup("missing")));
+    EXPECT_TRUE(std::isnan(root.lookup("l2.missing")));
+    EXPECT_TRUE(std::isnan(root.lookup("nogroup.hits")));
+    EXPECT_TRUE(std::isnan(root.lookup("l2.hits.deeper")));
+    // The valid paths still resolve.
+    EXPECT_DOUBLE_EQ(root.lookup("accesses"), 0.0);
+    EXPECT_DOUBLE_EQ(root.lookup("l2.hits"), 0.0);
+}
+
+using StatGroupDeathTest = ::testing::Test;
+
+TEST(StatGroupDeathTest, DuplicateEntryRegistrationAborts)
+{
+    StatGroup g("m");
+    Counter a;
+    std::uint64_t b = 0;
+    g.addCounter("x", &a);
+    EXPECT_DEATH(g.addCounter("x", &a), "duplicate stat registration");
+    // Collisions across entry kinds are just as fatal: the name is the
+    // namespace, not the (name, kind) pair.
+    EXPECT_DEATH(g.addScalar("x", &b), "duplicate stat registration");
+}
+
+TEST(StatGroupDeathTest, DuplicateChildGroupAborts)
+{
+    StatGroup root("m");
+    StatGroup c1("sub");
+    StatGroup c2("sub");
+    root.addChild(&c1);
+    EXPECT_DEATH(root.addChild(&c2), "duplicate stat child group");
 }
 
 TEST(Table, FormatsAlignedColumns)

@@ -23,6 +23,14 @@ main(int argc, char **argv)
                 "(PageRank)");
 
     Table t({"dataset", "with atomics", "plain r/w", "atomic overhead"});
+    SweepRunner sweep;
+    for (const auto &ds : {"sd", "rMat", "wiki", "lj"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Baseline);
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Baseline,
+                  [](MachineParams &p) { p.atomics_as_plain = true; });
+    }
+    sweep.run();
     for (const auto &ds : {"sd", "rMat", "wiki", "lj"}) {
         const DatasetSpec spec = *findDataset(ds);
         const RunOutcome with_atomics =

@@ -26,6 +26,13 @@ main(int argc, char **argv)
     // The engine schedules with chunk 64 (EngineOptions default).
     Table t({"sp chunk", "sched chunk", "sp local%", "on-chip MB",
              "hottest PISC busy", "cycles"});
+    SweepRunner sweep;
+    for (const unsigned sp_chunk : {64u, 1u, 16u, 256u})
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Omega,
+                  [sp_chunk](MachineParams &p) {
+                      p.sp_chunk_size = sp_chunk;
+                  });
+    sweep.run();
     for (const unsigned sp_chunk : {64u, 1u, 16u, 256u}) {
         const RunOutcome om = runOn(
             spec, AlgorithmKind::PageRank, MachineKind::Omega,

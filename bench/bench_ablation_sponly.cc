@@ -23,6 +23,15 @@ main(int argc, char **argv)
 
     Table t({"dataset", "baseline", "sp-only", "full omega",
              "sp-only speedup", "full speedup"});
+    SweepRunner sweep;
+    for (const auto &ds : {"lj", "rMat"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (MachineKind kind : {MachineKind::Baseline,
+                                 MachineKind::OmegaSpOnly,
+                                 MachineKind::Omega})
+            sweep.add(spec, AlgorithmKind::PageRank, kind);
+    }
+    sweep.run();
     for (const auto &ds : {"lj", "rMat"}) {
         const DatasetSpec spec = *findDataset(ds);
         const RunOutcome base =

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <sstream>
 
 #include "graph/reorder.hh"
@@ -18,6 +20,7 @@
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 #include "util/trace.hh"
 
 namespace omega::bench {
@@ -36,7 +39,13 @@ machineKindName(MachineKind kind)
 const Graph &
 datasetGraph(const DatasetSpec &spec)
 {
+    // Guarded so SweepRunner workers can share the cache; references stay
+    // valid because entries are never erased. SweepRunner materializes
+    // every planned graph before spawning workers, so in practice workers
+    // only take the fast lookup path.
+    static std::mutex mutex;
     static std::map<std::string, Graph> cache;
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = cache.find(spec.name);
     if (it == cache.end()) {
         Graph g = reorderGraph(buildDataset(spec),
@@ -62,80 +71,6 @@ machineFor(MachineKind kind, const DatasetSpec &spec)
         break;
     }
     return p.scaledCapacities(spec.capacity_scale);
-}
-
-RunOutcome
-runOn(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
-      const std::function<void(MachineParams &)> &tweak)
-{
-    const Graph &g = datasetGraph(spec);
-    MachineParams params = machineFor(kind, spec);
-    if (tweak)
-        tweak(params);
-
-    RunOutcome out;
-    out.params = params;
-    std::unique_ptr<MemorySystem> m;
-    if (kind == MachineKind::Baseline)
-        m = std::make_unique<BaselineMachine>(params);
-    else
-        m = std::make_unique<OmegaMachine>(params);
-
-    BenchSession *session = BenchSession::active();
-    const bool observe = session != nullptr && session->observing();
-    IntervalRecorder recorder(observe ? session->intervalCycles() : 0);
-    if (observe) {
-        if (session->jsonEnabled())
-            m->attachIntervalRecorder(&recorder);
-        if (session->traceEnabled())
-            m->attachTracing();
-    }
-
-    out.cycles = runAlgorithmOnMachine(algo, g, m.get());
-
-    if (observe) {
-        m->recordFinalSample();
-        out.stats = m->report();
-        session->recordRun(spec.name, algorithmName(algo),
-                           machineKindName(kind), out, *m, recorder);
-    } else {
-        out.stats = m->report();
-    }
-    return out;
-}
-
-std::vector<DatasetSpec>
-datasetsFor(AlgorithmKind algo, const std::vector<DatasetSpec> &from)
-{
-    const AlgorithmMeta &meta = algorithmMeta(algo);
-    std::vector<DatasetSpec> out;
-    for (const auto &s : from) {
-        if (meta.needs_symmetric && s.directed)
-            continue;
-        out.push_back(s);
-    }
-    return out;
-}
-
-std::vector<DatasetSpec>
-powerLawDatasets()
-{
-    std::vector<DatasetSpec> out;
-    for (const auto &s : simulationDatasets()) {
-        if (s.paper_power_law)
-            out.push_back(s);
-    }
-    return out;
-}
-
-double
-geoMean(const std::vector<double> &values)
-{
-    omega_assert(!values.empty(), "geoMean of empty set");
-    double log_sum = 0.0;
-    for (double v : values)
-        log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
 namespace {
@@ -190,32 +125,179 @@ writeDerivedJson(JsonWriter &w, const RunOutcome &out)
     w.endObject();
 }
 
+/**
+ * Full identity of a run: everything the simulation outcome depends on.
+ * Post-tweak parameters are serialized so two tweaks producing the same
+ * MachineParams share one memoized execution.
+ */
+std::string
+runKey(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
+       const MachineParams &params)
+{
+    std::ostringstream os;
+    os << spec.name << '|' << algorithmName(algo) << '|'
+       << machineKindName(kind) << '|';
+    JsonWriter w(os, /*pretty=*/false);
+    writeParamsJson(w, params);
+    return os.str();
+}
+
+/**
+ * Build the machine and run the algorithm, capturing every observability
+ * artifact into the returned value. Thread-safe: all state is per-run,
+ * and the trace sink is installed thread-locally for the duration.
+ */
+CompletedRun
+executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
+           const std::function<void(MachineParams &)> &tweak, bool want_json,
+           bool want_trace, Cycles interval_cycles)
+{
+    const Graph &g = datasetGraph(spec);
+    MachineParams params = machineFor(kind, spec);
+    if (tweak)
+        tweak(params);
+
+    CompletedRun run;
+    run.outcome.params = params;
+    std::unique_ptr<MemorySystem> m;
+    if (kind == MachineKind::Baseline)
+        m = std::make_unique<BaselineMachine>(params);
+    else
+        m = std::make_unique<OmegaMachine>(params);
+
+    std::optional<trace::ScopedSink> scoped;
+    if (want_trace) {
+        run.trace_sink = std::make_unique<trace::TraceSink>();
+        scoped.emplace(run.trace_sink.get());
+        m->attachTracing();
+    }
+    IntervalRecorder recorder(want_json ? interval_cycles : 0);
+    if (want_json)
+        m->attachIntervalRecorder(&recorder);
+
+    run.outcome.cycles = runAlgorithmOnMachine(algo, g, m.get());
+
+    if (want_json || want_trace)
+        m->recordFinalSample();
+    run.outcome.stats = m->report();
+    if (want_json) {
+        if (const StatGroup *tree = m->statTree()) {
+            std::ostringstream os;
+            JsonWriter w(os, /*pretty=*/false);
+            tree->writeJson(w);
+            omega_assert(w.complete(), "stat-tree JSON left unterminated");
+            run.stat_tree_json = os.str();
+        }
+    }
+    run.intervals = recorder;
+    return run;
+}
+
 } // namespace
+
+RunOutcome
+runOn(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
+      const std::function<void(MachineParams &)> &tweak)
+{
+    BenchSession *session = BenchSession::active();
+    const bool observe = session != nullptr && session->observing();
+
+    if (session != nullptr) {
+        MachineParams params = machineFor(kind, spec);
+        if (tweak)
+            tweak(params);
+        const CompletedRun *pre =
+            session->findPrewarmed(runKey(spec, algo, kind, params));
+        if (pre != nullptr) {
+            if (observe)
+                session->recordCompleted(spec.name, algorithmName(algo),
+                                         machineKindName(kind), *pre);
+            return pre->outcome;
+        }
+    }
+
+    const bool want_json = observe && session->jsonEnabled();
+    const bool want_trace = observe && session->traceEnabled();
+    CompletedRun run =
+        executeRun(spec, algo, kind, tweak, want_json, want_trace,
+                   observe ? session->intervalCycles() : 0);
+    if (observe)
+        session->recordCompleted(spec.name, algorithmName(algo),
+                                 machineKindName(kind), run);
+    return run.outcome;
+}
+
+std::vector<DatasetSpec>
+datasetsFor(AlgorithmKind algo, const std::vector<DatasetSpec> &from)
+{
+    const AlgorithmMeta &meta = algorithmMeta(algo);
+    std::vector<DatasetSpec> out;
+    for (const auto &s : from) {
+        if (meta.needs_symmetric && s.directed)
+            continue;
+        out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<DatasetSpec>
+powerLawDatasets()
+{
+    std::vector<DatasetSpec> out;
+    for (const auto &s : simulationDatasets()) {
+        if (s.paper_power_law)
+            out.push_back(s);
+    }
+    return out;
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    omega_assert(!values.empty(), "geoMean of empty set");
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
 
 BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
     : bench_name_(std::move(bench_name))
 {
+    std::vector<std::string> raw;
     for (int i = 1; i < argc; ++i)
-        args_.emplace_back(argv[i]);
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-        const std::string &arg = args_[i];
-        const bool has_operand = i + 1 < args_.size();
+        raw.emplace_back(argv[i]);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const std::string &arg = raw[i];
+        const bool has_operand = i + 1 < raw.size();
         if (arg == "--json") {
             omega_assert(has_operand, "--json requires a path operand");
-            json_path_ = args_[++i];
+            json_path_ = raw[++i];
         } else if (arg == "--trace") {
             omega_assert(has_operand, "--trace requires a path operand");
-            trace_path_ = args_[++i];
+            trace_path_ = raw[++i];
         } else if (arg == "--interval") {
             omega_assert(has_operand,
                          "--interval requires a cycle-count operand");
-            interval_cycles_ = std::strtoull(args_[++i].c_str(), nullptr, 10);
+            interval_cycles_ = std::strtoull(raw[++i].c_str(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            omega_assert(has_operand,
+                         "--jobs requires a thread-count operand");
+            jobs_ = static_cast<unsigned>(
+                std::strtoul(raw[++i].c_str(), nullptr, 10));
+            omega_assert(jobs_ >= 1, "--jobs must be >= 1");
+        } else {
+            // Left for the bench itself. Only these survive into the
+            // JSON document, so the document does not depend on output
+            // paths or job count.
+            args_.push_back(arg);
         }
-        // Unrecognized arguments are left for the bench itself.
     }
     if (!trace_path_.empty()) {
+        // The sink is a merge target only: runs record into their own
+        // thread-local sinks and recordCompleted() folds them in here in
+        // consumption order.
         sink_ = std::make_unique<trace::TraceSink>();
-        trace::setSink(sink_.get());
         if (!trace::compiledIn()) {
             warn("--trace requested but OMEGA_TRACE was compiled out; "
                  "the trace file will contain no events");
@@ -228,8 +310,6 @@ BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
 BenchSession::~BenchSession()
 {
     g_active_session = prev_active_;
-    if (sink_ != nullptr && trace::sink() == sink_.get())
-        trace::setSink(nullptr);
     if (jsonEnabled())
         writeJsonDoc();
     if (sink_ != nullptr)
@@ -243,28 +323,36 @@ BenchSession::active()
 }
 
 void
-BenchSession::recordRun(const std::string &dataset,
-                        const std::string &algorithm,
-                        const std::string &machine,
-                        const RunOutcome &outcome, const MemorySystem &mach,
-                        const IntervalRecorder &intervals)
+BenchSession::recordCompleted(const std::string &dataset,
+                              const std::string &algorithm,
+                              const std::string &machine,
+                              const CompletedRun &run)
 {
+    if (sink_ != nullptr && run.trace_sink != nullptr)
+        sink_->mergeFrom(*run.trace_sink);
     if (!jsonEnabled())
         return;
     RunRecord rec;
     rec.dataset = dataset;
     rec.algorithm = algorithm;
     rec.machine = machine;
-    rec.outcome = outcome;
-    rec.intervals = intervals;
-    if (const StatGroup *tree = mach.statTree()) {
-        std::ostringstream os;
-        JsonWriter w(os, /*pretty=*/false);
-        tree->writeJson(w);
-        omega_assert(w.complete(), "stat-tree JSON left unterminated");
-        rec.stat_tree_json = os.str();
-    }
+    rec.outcome = run.outcome;
+    rec.stat_tree_json = run.stat_tree_json;
+    rec.intervals = run.intervals;
     runs_.push_back(std::move(rec));
+}
+
+void
+BenchSession::storePrewarmed(std::string key, CompletedRun run)
+{
+    prewarmed_.insert_or_assign(std::move(key), std::move(run));
+}
+
+const CompletedRun *
+BenchSession::findPrewarmed(const std::string &key) const
+{
+    auto it = prewarmed_.find(key);
+    return it == prewarmed_.end() ? nullptr : &it->second;
 }
 
 void
@@ -322,6 +410,69 @@ BenchSession::writeTraceFile() const
     }
     sink_->writeChromeTrace(os);
     os << '\n';
+}
+
+SweepRunner::SweepRunner()
+    : jobs_(g_active_session != nullptr ? g_active_session->jobs() : 1)
+{
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs < 1 ? 1 : jobs)
+{
+}
+
+void
+SweepRunner::add(const DatasetSpec &spec, AlgorithmKind algo,
+                 MachineKind kind,
+                 const std::function<void(MachineParams &)> &tweak)
+{
+    if (jobs_ <= 1)
+        return; // sequential sessions compute on demand in runOn()
+    MachineParams params = machineFor(kind, spec);
+    if (tweak)
+        tweak(params);
+    std::string key = runKey(spec, algo, kind, params);
+    BenchSession *session = BenchSession::active();
+    if (session != nullptr && session->findPrewarmed(key) != nullptr)
+        return;
+    for (const PlannedRun &p : planned_) {
+        if (p.key == key)
+            return;
+    }
+    planned_.push_back(PlannedRun{spec, algo, kind, tweak, std::move(key)});
+}
+
+void
+SweepRunner::run()
+{
+    BenchSession *session = BenchSession::active();
+    if (session == nullptr || jobs_ <= 1 || planned_.empty()) {
+        planned_.clear();
+        return;
+    }
+
+    // Materialize every planned graph up front: the first touch builds
+    // into the shared cache, so workers only ever read it.
+    for (const PlannedRun &p : planned_)
+        datasetGraph(p.spec);
+
+    const bool want_json = session->jsonEnabled();
+    const bool want_trace = session->traceEnabled();
+    const Cycles interval = session->intervalCycles();
+    std::vector<CompletedRun> results(planned_.size());
+    parallelFor(planned_.size(), jobs_, [&](std::size_t i) {
+        const PlannedRun &p = planned_[i];
+        results[i] = executeRun(p.spec, p.algo, p.kind, p.tweak, want_json,
+                                want_trace, interval);
+    });
+    // Deposit in plan order; the bench's own loops consume from the map
+    // in their original sequential order, so recorded output is
+    // independent of which worker finished first.
+    for (std::size_t i = 0; i < planned_.size(); ++i)
+        session->storePrewarmed(std::move(planned_[i].key),
+                                std::move(results[i]));
+    planned_.clear();
 }
 
 } // namespace omega::bench

@@ -73,10 +73,26 @@ std::vector<DatasetSpec> powerLawDatasets();
 double geoMean(const std::vector<double> &values);
 
 /**
+ * Everything one finished simulation produced: the outcome plus the
+ * observability artifacts rendered while the machine was alive. Value
+ * type so the sweep runner can compute it on a worker thread and the
+ * session can consume it later on the main thread.
+ */
+struct CompletedRun
+{
+    RunOutcome outcome;
+    /** Pre-rendered (compact) machine stat-tree object, or empty. */
+    std::string stat_tree_json;
+    IntervalRecorder intervals;
+    /** Per-run trace events (only when the session traces). */
+    std::unique_ptr<trace::TraceSink> trace_sink;
+};
+
+/**
  * Machine-readable output session for a bench binary.
  *
  * Construct one at the top of main() with the program arguments; it
- * recognizes (and consumes conceptually — benches take no other args):
+ * recognizes and consumes:
  *
  *   --json <path>       write a versioned JSON document with every run's
  *                       parameters, StatsReport, derived metrics, stat
@@ -84,14 +100,21 @@ double geoMean(const std::vector<double> &values);
  *   --trace <path>      record simulated events and write a Chrome
  *                       trace_event file (open in Perfetto);
  *   --interval <cycles> cadence for interval samples (default 0: only
- *                       iteration/final samples are taken).
+ *                       iteration/final samples are taken);
+ *   --jobs <n>          execute SweepRunner-planned runs on up to n
+ *                       threads (default 1: fully sequential).
  *
- * While a session with --json or --trace is alive, runOn() attaches an
- * IntervalRecorder and the trace sink to every machine it builds and
- * reports each run back here; both files are written when the session is
- * destroyed. Without those flags the session is inert and benches behave
- * exactly as before. The emitted document is deterministic: identical
- * runs produce byte-identical files.
+ * Remaining arguments are left for the bench itself (and are the only
+ * ones echoed into the JSON document, so the document is independent of
+ * output paths and job count).
+ *
+ * While a session with --json or --trace is alive, runOn() instruments
+ * every machine it builds with a per-run IntervalRecorder and trace sink
+ * and reports each run back here; both files are written when the
+ * session is destroyed. Without those flags the session only carries the
+ * job count. Runs are always recorded in the order the bench consumes
+ * them (its loop order), never in execution order, so the emitted
+ * documents are deterministic and byte-identical for any --jobs value.
  */
 class BenchSession
 {
@@ -109,16 +132,25 @@ class BenchSession
     /** True when runOn() should instrument machines at all. */
     bool observing() const { return jsonEnabled() || traceEnabled(); }
     Cycles intervalCycles() const { return interval_cycles_; }
+    /** Worker threads for SweepRunner (--jobs, >= 1). */
+    unsigned jobs() const { return jobs_; }
 
     /** Document schema version (bump on incompatible layout changes). */
     static constexpr int kSchemaVersion = 1;
 
-    /** Called by runOn() after each simulated run. */
-    void recordRun(const std::string &dataset,
-                   const std::string &algorithm,
-                   const std::string &machine, const RunOutcome &outcome,
-                   const MemorySystem &mach,
-                   const IntervalRecorder &intervals);
+    /**
+     * Called by runOn() when the bench consumes a run: appends it to the
+     * JSON document and merges its trace events, in consumption order.
+     */
+    void recordCompleted(const std::string &dataset,
+                         const std::string &algorithm,
+                         const std::string &machine,
+                         const CompletedRun &run);
+
+    /** @name Memoized results (filled by SweepRunner, read by runOn). @{ */
+    void storePrewarmed(std::string key, CompletedRun run);
+    const CompletedRun *findPrewarmed(const std::string &key) const;
+    /** @} */
 
   private:
     struct RunRecord
@@ -127,7 +159,6 @@ class BenchSession
         std::string algorithm;
         std::string machine;
         RunOutcome outcome;
-        /** Pre-rendered (compact) machine stat-tree object, or empty. */
         std::string stat_tree_json;
         IntervalRecorder intervals;
     };
@@ -136,13 +167,63 @@ class BenchSession
     void writeTraceFile() const;
 
     std::string bench_name_;
+    /** Arguments not consumed by the session (bench-specific). */
     std::vector<std::string> args_;
     std::string json_path_;
     std::string trace_path_;
     Cycles interval_cycles_ = 0;
+    unsigned jobs_ = 1;
     std::unique_ptr<trace::TraceSink> sink_;
     std::vector<RunRecord> runs_;
+    std::map<std::string, CompletedRun> prewarmed_;
     BenchSession *prev_active_ = nullptr;
+};
+
+/**
+ * Parallel sweep planner: runs independent (dataset, algorithm, machine)
+ * simulations concurrently and memoizes the results so the bench's
+ * existing sequential loops — runOn() calls interleaved with table
+ * building — consume them unchanged.
+ *
+ * Usage: mirror the bench's runOn() calls with add() calls, then run()
+ * once before the output loops. add() deduplicates by the run's full
+ * identity (dataset, algorithm, machine kind, post-tweak parameters), so
+ * over-planning is harmless. With --jobs 1 (the default) run() is a
+ * no-op and runOn() computes on demand exactly as before; with N jobs
+ * the planned runs execute on a thread pool and only the *execution*
+ * is concurrent — recording order, and therefore every byte of --json
+ * and --trace output, is identical for any job count.
+ */
+class SweepRunner
+{
+  public:
+    /** Job count from the active BenchSession (1 when none is live). */
+    SweepRunner();
+    /** Explicit job count (tests). */
+    explicit SweepRunner(unsigned jobs);
+
+    /** Plan one run; mirrors runOn()'s arguments. */
+    void add(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
+             const std::function<void(MachineParams &)> &tweak = {});
+
+    /** Execute all planned runs (up to jobs() at a time) and memoize. */
+    void run();
+
+    unsigned jobs() const { return jobs_; }
+    std::size_t pending() const { return planned_.size(); }
+
+  private:
+    struct PlannedRun
+    {
+        DatasetSpec spec;
+        AlgorithmKind algo;
+        MachineKind kind;
+        std::function<void(MachineParams &)> tweak;
+        std::string key;
+    };
+
+    unsigned jobs_;
+    std::vector<PlannedRun> planned_;
 };
 
 /**

@@ -43,6 +43,19 @@ main(int argc, char **argv)
 
     Table t({"dataset", "variant", "on-chip MB", "flits", "cycles",
              "speedup vs baseline"});
+    SweepRunner sweep;
+    for (const auto &ds : {"rMat", "lj"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        sweep.add(spec, AlgorithmKind::SSSP, MachineKind::Baseline);
+        for (const Variant &v : variants) {
+            const bool word = v.word;
+            sweep.add(spec, AlgorithmKind::SSSP, v.kind,
+                      [word](MachineParams &p) {
+                          p.sp_word_granularity = word;
+                      });
+        }
+    }
+    sweep.run();
     for (const auto &ds : {"rMat", "lj"}) {
         const DatasetSpec spec = *findDataset(ds);
         const RunOutcome base =

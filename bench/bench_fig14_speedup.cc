@@ -32,6 +32,15 @@ main(int argc, char **argv)
     std::vector<double> all_speedups;
     std::map<std::string, std::vector<double>> per_algo;
 
+    SweepRunner sweep;
+    for (AlgorithmKind algo : algos) {
+        for (const auto &spec : datasetsFor(algo, simulationDatasets())) {
+            sweep.add(spec, algo, MachineKind::Baseline);
+            sweep.add(spec, algo, MachineKind::Omega);
+        }
+    }
+    sweep.run();
+
     for (AlgorithmKind algo : algos) {
         // The paper runs the symmetric-only algorithms (CC/TC/KC) on the
         // undirected datasets; everything else on the directed ones.

@@ -23,6 +23,12 @@ main(int argc, char **argv)
     Table t({"dataset", "baseline LLC hit%", "omega L2+SP hit%"});
     std::vector<double> base_rates;
     std::vector<double> omega_rates;
+    SweepRunner sweep;
+    for (const auto &spec : powerLawDatasets()) {
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Baseline);
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Omega);
+    }
+    sweep.run();
     for (const auto &spec : powerLawDatasets()) {
         const RunOutcome base =
             runOn(spec, AlgorithmKind::PageRank, MachineKind::Baseline);

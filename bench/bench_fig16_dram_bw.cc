@@ -24,6 +24,12 @@ main(int argc, char **argv)
     Table t({"dataset", "baseline GB/s", "omega GB/s", "baseline util%",
              "omega util%", "improvement"});
     std::vector<double> improvements;
+    SweepRunner sweep;
+    for (const auto &spec : powerLawDatasets()) {
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Baseline);
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Omega);
+    }
+    sweep.run();
     for (const auto &spec : powerLawDatasets()) {
         const RunOutcome base =
             runOn(spec, AlgorithmKind::PageRank, MachineKind::Baseline);

@@ -23,6 +23,12 @@ main(int argc, char **argv)
     Table t({"dataset", "baseline MB", "omega MB", "baseline flits",
              "omega flits", "reduction"});
     std::vector<double> reductions;
+    SweepRunner sweep;
+    for (const auto &spec : powerLawDatasets()) {
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Baseline);
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Omega);
+    }
+    sweep.run();
     for (const auto &spec : powerLawDatasets()) {
         const RunOutcome base =
             runOn(spec, AlgorithmKind::PageRank, MachineKind::Baseline);

@@ -22,6 +22,16 @@ main(int argc, char **argv)
 
     Table t({"workload", "baseline cycles", "omega cycles", "speedup",
              "top-20% access%"});
+    SweepRunner sweep;
+    for (const auto &ds : {"lj", "USA"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (AlgorithmKind algo :
+             {AlgorithmKind::PageRank, AlgorithmKind::BFS}) {
+            sweep.add(spec, algo, MachineKind::Baseline);
+            sweep.add(spec, algo, MachineKind::Omega);
+        }
+    }
+    sweep.run();
     for (const auto &ds : {"lj", "USA"}) {
         const DatasetSpec spec = *findDataset(ds);
         for (AlgorithmKind algo :

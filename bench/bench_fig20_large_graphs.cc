@@ -74,6 +74,24 @@ main(int argc, char **argv)
     printBanner(std::cout, "Fig 20: large datasets via the high-level "
                            "model (uk, twitter)");
 
+    SweepRunner sweep;
+    for (const auto &ds : {"sd", "rMat", "lj"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (AlgorithmKind algo :
+             {AlgorithmKind::PageRank, AlgorithmKind::BFS}) {
+            sweep.add(spec, algo, MachineKind::Baseline);
+            sweep.add(spec, algo, MachineKind::Omega);
+        }
+    }
+    // measureInputs() also re-runs the baseline for uk/twitter.
+    for (const auto &ds : {"uk", "twitter"}) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (AlgorithmKind algo :
+             {AlgorithmKind::PageRank, AlgorithmKind::BFS})
+            sweep.add(spec, algo, MachineKind::Baseline);
+    }
+    sweep.run();
+
     // Validation on mid-size graphs first (the paper reports <=7% gap).
     std::cout << "Model validation against detailed simulation:\n";
     Table v({"workload", "detailed speedup", "model speedup", "error%"});

@@ -24,6 +24,12 @@ main(int argc, char **argv)
     Table t({"dataset", "machine", "cache mJ", "sp mJ", "noc mJ",
              "dram mJ", "static mJ", "atomic mJ", "total mJ", "saving"});
     std::vector<double> savings;
+    SweepRunner sweep;
+    for (const auto &spec : powerLawDatasets()) {
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Baseline);
+        sweep.add(spec, AlgorithmKind::PageRank, MachineKind::Omega);
+    }
+    sweep.run();
     for (const auto &spec : powerLawDatasets()) {
         const RunOutcome base =
             runOn(spec, AlgorithmKind::PageRank, MachineKind::Baseline);

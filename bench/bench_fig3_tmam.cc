@@ -30,6 +30,13 @@ main(int argc, char **argv)
 
     Table t({"workload", "retiring%", "mem-bound%", "atomic%", "sync%"});
     std::vector<double> mem_fracs;
+    SweepRunner sweep;
+    for (const auto &ds : datasets) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (AlgorithmKind algo : algos)
+            sweep.add(spec, algo, MachineKind::Baseline);
+    }
+    sweep.run();
     for (const auto &ds : datasets) {
         const DatasetSpec spec = *findDataset(ds);
         for (AlgorithmKind algo : algos) {

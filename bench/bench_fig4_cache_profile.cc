@@ -30,6 +30,19 @@ main(int argc, char **argv)
 
     Table t({"workload", "L1 hit%", "LLC hit%", "top-20% access%"});
     std::vector<double> hot_fracs;
+    SweepRunner sweep;
+    for (const auto &ds : datasets) {
+        const DatasetSpec spec = *findDataset(ds);
+        for (AlgorithmKind algo : algos) {
+            if (algorithmMeta(algo).needs_symmetric && spec.directed)
+                continue;
+            sweep.add(spec, algo, MachineKind::Baseline);
+        }
+    }
+    for (const auto &ds : {"ap", "rPA"})
+        sweep.add(*findDataset(ds), AlgorithmKind::CC,
+                  MachineKind::Baseline);
+    sweep.run();
     for (const auto &ds : datasets) {
         const DatasetSpec spec = *findDataset(ds);
         for (AlgorithmKind algo : algos) {

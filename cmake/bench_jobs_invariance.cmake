@@ -1,0 +1,40 @@
+# Thread-count invariance check for a bench binary.
+#
+# Usage:
+#   cmake -DBENCH=<binary> -DOUT_DIR=<dir> -DJOBS=<n> \
+#         -P bench_jobs_invariance.cmake
+#
+# Runs the bench with --jobs 1 and --jobs ${JOBS}; stdout and the --json
+# and --trace documents must be byte-identical — parallelism may only
+# change wall-clock time.
+
+foreach(var BENCH OUT_DIR JOBS)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "${var} not set")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+foreach(jobs 1 ${JOBS})
+    execute_process(
+        COMMAND "${BENCH}" --jobs ${jobs}
+            --json "${OUT_DIR}/j${jobs}.json"
+            --trace "${OUT_DIR}/j${jobs}.trace.json"
+        OUTPUT_FILE "${OUT_DIR}/j${jobs}.stdout"
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${BENCH} --jobs ${jobs} failed: ${rc}")
+    endif()
+endforeach()
+
+foreach(kind json trace.json stdout)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+        "${OUT_DIR}/j1.${kind}" "${OUT_DIR}/j${JOBS}.${kind}"
+        RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+        message(FATAL_ERROR
+            "--jobs ${JOBS} changed the ${kind} output "
+            "(${OUT_DIR}/j1.${kind} vs ${OUT_DIR}/j${JOBS}.${kind})")
+    endif()
+endforeach()
+message(STATUS "--jobs ${JOBS} output byte-identical to --jobs 1")

@@ -20,11 +20,19 @@ OmegaMachine::OmegaMachine(const MachineParams &params)
     omega_assert(params.sp_total_bytes > 0,
                  "OmegaMachine needs scratchpad capacity; use "
                  "MachineParams::omega()");
+    // Distribute the total capacity exactly: the first (total % cores)
+    // scratchpads take one extra byte so no capacity is silently dropped
+    // when the division truncates. Residency still uses the smallest
+    // scratchpad's line count (see configure()) to keep the partition
+    // unit's uniform vertex->home mapping valid.
     const std::uint64_t per_core = params.sp_total_bytes / params.num_cores;
+    const std::uint64_t remainder =
+        params.sp_total_bytes % params.num_cores;
     cores_.reserve(params.num_cores);
     for (unsigned c = 0; c < params.num_cores; ++c) {
         cores_.emplace_back(params);
-        scratchpads_.emplace_back(per_core, params.sp_latency);
+        scratchpads_.emplace_back(per_core + (c < remainder ? 1 : 0),
+                                  params.sp_latency);
         piscs_.emplace_back();
         svbs_.emplace_back(params.svb_entries);
     }
@@ -135,9 +143,13 @@ OmegaMachine::configure(const MachineConfig &config)
     for (const auto &p : config.props)
         line_bytes += p.type_size;
 
+    // Uniform interleaving requires every home to hold the same number of
+    // lines, so residency is bounded by the smallest scratchpad.
     VertexId lines_per_sp = 0;
-    for (auto &sp : scratchpads_)
-        lines_per_sp = sp.setLineBytes(line_bytes);
+    for (std::size_t c = 0; c < scratchpads_.size(); ++c) {
+        const VertexId lines = scratchpads_[c].setLineBytes(line_bytes);
+        lines_per_sp = c == 0 ? lines : std::min(lines_per_sp, lines);
+    }
 
     const std::uint64_t total_lines =
         static_cast<std::uint64_t>(lines_per_sp) * params_.num_cores;
@@ -402,6 +414,10 @@ OmegaMachine::barrier()
     for (auto &core : cores_)
         core.syncTo(t);
     global_cycles_ = t;
+    // Every core (and PISC) is now at t: busy entries that completed by t
+    // can never block a later request, so drop them. Keeps the table
+    // bounded by in-flight atomics across long multi-iteration runs.
+    controller_.retireCompleted(t);
     if (recorder_ != nullptr && recorder_->cadenceDue(global_cycles_))
         takeSample(SampleKind::Cadence);
 }

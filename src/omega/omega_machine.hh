@@ -65,6 +65,11 @@ class OmegaMachine : public MemorySystem
         return controller_.residentVertices();
     }
     const ScratchpadController &controller() const { return controller_; }
+    /** Per-core scratchpads (capacity accounting, tests). */
+    const std::vector<Scratchpad> &scratchpads() const
+    {
+        return scratchpads_;
+    }
 
     void recordFinalSample() override;
     const StatGroup *statTree() const override { return &stats_root_; }

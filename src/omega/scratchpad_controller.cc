@@ -24,6 +24,31 @@ void
 ScratchpadController::configure(std::vector<PropSpec> props,
                                 VertexId resident_vertices)
 {
+    // route() is first-match-wins, so overlapping monitored ranges would
+    // silently send the shared span to the wrong prop/vertex. Reject them
+    // outright; the registry bump-allocates disjoint ranges, so overlap
+    // can only come from a broken layout.
+    const auto span_end = [](const PropSpec &p) {
+        return p.start_addr +
+               static_cast<std::uint64_t>(p.count - 1) * p.stride +
+               p.type_size;
+    };
+    for (std::size_t i = 0; i < props.size(); ++i) {
+        const PropSpec &a = props[i];
+        if (a.count == 0)
+            continue;
+        omega_assert(a.type_size > 0 && a.stride >= a.type_size,
+                     "PropSpec stride must cover the entry type");
+        for (std::size_t j = i + 1; j < props.size(); ++j) {
+            const PropSpec &b = props[j];
+            if (b.count == 0)
+                continue;
+            omega_assert(a.start_addr >= span_end(b) ||
+                             b.start_addr >= span_end(a),
+                         "overlapping monitored vtxProp ranges: props ", i,
+                         " and ", j, " share addresses");
+        }
+    }
     props_ = std::move(props);
     resident_ = resident_vertices;
     vertex_busy_until_.clear();
@@ -81,6 +106,14 @@ ScratchpadController::isVertexBusy(VertexId vertex, Cycles now) const
 {
     auto it = vertex_busy_until_.find(vertex);
     return it != vertex_busy_until_.end() && it->second > now;
+}
+
+void
+ScratchpadController::retireCompleted(Cycles now)
+{
+    std::erase_if(vertex_busy_until_, [now](const auto &entry) {
+        return entry.second <= now;
+    });
 }
 
 void

@@ -53,6 +53,11 @@ class ScratchpadController
     /**
      * Install the monitor registers for a run.
      *
+     * The ranges must be pairwise disjoint: route() resolves an address
+     * against the first matching register, so overlapping ranges would
+     * silently mis-route every address in the shared span. Overlap is a
+     * configuration bug and panics.
+     *
      * @param props vtxProp ranges.
      * @param resident_vertices vertices 0..resident-1 live in scratchpads.
      */
@@ -93,6 +98,15 @@ class ScratchpadController
     Cycles beginAtomic(VertexId vertex, Cycles arrival, Cycles duration);
     /** True if a request at @p now would hit a vertex mid-atomic. */
     bool isVertexBusy(VertexId vertex, Cycles now) const;
+    /**
+     * Drop busy entries whose atomic completed at or before @p now.
+     * Called at machine barriers (every core is synced to @p now, so a
+     * retired entry can never block a later request); keeps the table
+     * bounded by in-flight atomics instead of every vertex ever touched.
+     */
+    void retireCompleted(Cycles now);
+    /** Busy-table entries currently held (tests pin boundedness). */
+    std::size_t busyTableSize() const { return vertex_busy_until_.size(); }
     /** Conflicts observed (requests that had to wait). */
     std::uint64_t conflicts() const { return conflicts_; }
     /** Register conflict counters in @p group. */

@@ -5,13 +5,17 @@
 
 #include "testing/differential.hh"
 
+#include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <utility>
 
 #include "graph/reorder.hh"
 #include "omega/omega_machine.hh"
 #include "sim/baseline_machine.hh"
 #include "testing/invariants.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace omega {
 namespace testing {
@@ -188,15 +192,37 @@ runDifferentialCase(const FuzzSpec &spec, AlgorithmKind algorithm,
     return result;
 }
 
+unsigned
+resolveDiffJobs(unsigned jobs)
+{
+    if (jobs != 0)
+        return jobs;
+    if (const char *env = std::getenv("OMEGA_TEST_JOBS")) {
+        const unsigned parsed =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (parsed != 0)
+            return parsed;
+    }
+    return std::min(ThreadPool::hardwareJobs(), 8u);
+}
+
 std::vector<DiffCaseResult>
 runDifferentialMatrix(const std::vector<FuzzSpec> &specs,
                       const DiffOptions &opts)
 {
-    std::vector<DiffCaseResult> results;
+    // Enumerate the sweep first so results land at fixed indices: the
+    // report is in sweep order however many workers ran the cases.
+    std::vector<std::pair<FuzzSpec, AlgorithmKind>> cases;
     for (const FuzzSpec &spec : specs) {
         for (const AlgorithmMeta &meta : allAlgorithms())
-            results.push_back(runDifferentialCase(spec, meta.kind, opts));
+            cases.emplace_back(spec, meta.kind);
     }
+    std::vector<DiffCaseResult> results(cases.size());
+    parallelFor(cases.size(), resolveDiffJobs(opts.jobs),
+                [&](std::size_t i) {
+                    results[i] = runDifferentialCase(cases[i].first,
+                                                     cases[i].second, opts);
+                });
     return results;
 }
 

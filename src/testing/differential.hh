@@ -65,7 +65,18 @@ struct DiffOptions
     std::vector<MachineVariant> variants = {MachineVariant::Baseline,
                                             MachineVariant::Omega,
                                             MachineVariant::OmegaNoReorder};
+    /**
+     * Worker threads for runDifferentialMatrix. 0 (the default) picks
+     * the OMEGA_TEST_JOBS environment variable when set, otherwise the
+     * hardware concurrency clamped to [1, 8]. Cases are independent and
+     * results come back in sweep order, so the report is identical for
+     * any job count.
+     */
+    unsigned jobs = 0;
 };
+
+/** Resolve a DiffOptions::jobs value (0 = env/hardware default). */
+unsigned resolveDiffJobs(unsigned jobs);
 
 /** Outcome of one (spec, algorithm) differential case. */
 struct DiffCaseResult
@@ -94,8 +105,10 @@ DiffCaseResult runDifferentialCase(const FuzzSpec &spec,
                                    const DiffOptions &opts = {});
 
 /**
- * Sweep specs x all eight algorithms. Returns every case result (passed
- * and failed) so callers can assert and report selectively.
+ * Sweep specs x all eight algorithms, running up to
+ * resolveDiffJobs(opts.jobs) cases concurrently. Returns every case
+ * result (passed and failed), in deterministic sweep order regardless
+ * of the job count, so callers can assert and report selectively.
  */
 std::vector<DiffCaseResult>
 runDifferentialMatrix(const std::vector<FuzzSpec> &specs,

@@ -12,20 +12,22 @@ namespace trace {
 
 namespace {
 
-TraceSink *g_sink = nullptr;
+// Thread-local so concurrent sweep workers each trace into their own
+// per-run sink; see the header's sink-management notes.
+thread_local TraceSink *t_sink = nullptr;
 
 } // namespace
 
 void
 setSink(TraceSink *sink)
 {
-    g_sink = sink;
+    t_sink = sink;
 }
 
 TraceSink *
 sink()
 {
-    return g_sink;
+    return t_sink;
 }
 
 TraceSink::TraceSink(std::size_t max_events) : max_events_(max_events)
@@ -166,6 +168,33 @@ TraceSink::writeChromeTrace(std::ostream &os) const
     w.endObject();
     w.endObject();
     os << "\n";
+}
+
+void
+TraceSink::mergeFrom(const TraceSink &other)
+{
+    // Dense pid remap: other's pids were allocated 1..n by beginProcess.
+    std::vector<int> pid_map(static_cast<std::size_t>(other.next_pid_), 0);
+    for (const auto &p : other.processes_) {
+        const int pid = next_pid_++;
+        pid_map[static_cast<std::size_t>(p.pid)] = pid;
+        processes_.push_back(ProcessMeta{pid, p.name});
+    }
+    const auto remap = [&pid_map](int pid) {
+        if (pid >= 0 && static_cast<std::size_t>(pid) < pid_map.size() &&
+            pid_map[static_cast<std::size_t>(pid)] != 0)
+            return pid_map[static_cast<std::size_t>(pid)];
+        return pid; // events emitted without a registered process
+    };
+    for (const auto &t : other.threads_)
+        threads_.push_back(ThreadMeta{remap(t.pid), t.tid, t.name});
+    for (TraceEvent e : other.events_) {
+        e.pid = remap(e.pid);
+        push(e);
+    }
+    dropped_ += other.dropped_;
+    if (!processes_.empty())
+        current_pid_ = processes_.back().pid;
 }
 
 void

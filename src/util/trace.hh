@@ -23,8 +23,10 @@
  * (a sink just never receives events).
  *
  * Runtime gate: emission helpers are no-ops unless a sink is installed
- * via trace::setSink() — one relaxed global load + branch per event site
- * on the hot path.
+ * via trace::setSink() — one thread-local load + branch per event site
+ * on the hot path. The sink pointer is thread-local so concurrent sweep
+ * workers each trace into their own per-run sink (see ScopedSink and
+ * TraceSink::mergeFrom).
  */
 
 #ifndef OMEGA_UTIL_TRACE_HH
@@ -103,6 +105,16 @@ class TraceSink
      */
     void writeChromeTrace(std::ostream &os) const;
 
+    /**
+     * Append everything @p other recorded, renumbering its process ids
+     * into this sink's pid space so machine tracks never collide. Used
+     * by the sweep harness: each run records into a private sink on its
+     * worker thread, and the session merges the per-run sinks in sweep
+     * order — the merged document is therefore independent of how many
+     * threads executed the runs.
+     */
+    void mergeFrom(const TraceSink &other);
+
     /** Discard all recorded events (metadata included). */
     void clear();
 
@@ -130,9 +142,31 @@ class TraceSink
     std::vector<TraceEvent> events_;
 };
 
-/** @name Global sink management (not owned; caller controls lifetime). @{ */
+/**
+ * @name Sink management (not owned; caller controls lifetime).
+ *
+ * The installed sink is thread-local: every simulation thread sees only
+ * the sink it installed itself, so independent runs on different worker
+ * threads record into disjoint sinks with no synchronization on the
+ * emission hot path. Single-threaded callers behave exactly as with a
+ * process-global sink.
+ * @{
+ */
 void setSink(TraceSink *sink);
 TraceSink *sink();
+
+/** Install a sink for a scope; restores the previous one on exit. */
+class ScopedSink
+{
+  public:
+    explicit ScopedSink(TraceSink *s) : prev_(sink()) { setSink(s); }
+    ~ScopedSink() { setSink(prev_); }
+    ScopedSink(const ScopedSink &) = delete;
+    ScopedSink &operator=(const ScopedSink &) = delete;
+
+  private:
+    TraceSink *prev_;
+};
 /** @} */
 
 /** True when OMEGA_TRACE was compiled in. */

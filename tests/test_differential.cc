@@ -223,6 +223,28 @@ TEST(Differential, MatrixAllAlgorithmsAllMachines)
     expectAllPassed(runDifferentialMatrix(defaultFuzzMatrix()));
 }
 
+TEST(Differential, ParallelSweepMatchesSequential)
+{
+    // The matrix sweep is thread-count invariant: every case result —
+    // including timing and the rendered summaries — is identical whether
+    // the cases ran on one worker or several.
+    const auto matrix = defaultFuzzMatrix();
+    const std::vector<FuzzSpec> specs(matrix.begin(), matrix.begin() + 2);
+    DiffOptions seq;
+    seq.jobs = 1;
+    DiffOptions par;
+    par.jobs = 4;
+    const auto a = runDifferentialMatrix(specs, seq);
+    const auto b = runDifferentialMatrix(specs, par);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].runs, b[i].runs) << i;
+        EXPECT_EQ(a[i].skipped, b[i].skipped) << i;
+        EXPECT_EQ(a[i].summary(), b[i].summary()) << i;
+    }
+    expectAllPassed(b);
+}
+
 TEST(Differential, ScratchpadOnlyAblation)
 {
     // The PISC-less OMEGA ablation on the two power-law specs.

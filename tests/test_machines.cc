@@ -156,6 +156,27 @@ TEST(OmegaMachine, SmallGraphFitsEntirely)
     EXPECT_EQ(m.residentVertices(), 1000u);
 }
 
+TEST(OmegaMachine, ScratchpadCapacityCoversRemainder)
+{
+    // A total not divisible by the core count must not silently shrink:
+    // the remainder bytes are spread over the first scratchpads so the
+    // modeled capacity sums to exactly sp_total_bytes.
+    MachineParams p = omegaParams();
+    p.sp_total_bytes = 64 * 1024 + 7; // 16 cores: 4096 each + 7 left over
+    OmegaMachine m(p);
+    std::uint64_t total = 0;
+    for (const Scratchpad &sp : m.scratchpads())
+        total += sp.capacityBytes();
+    EXPECT_EQ(total, p.sp_total_bytes);
+    EXPECT_EQ(m.scratchpads().front().capacityBytes(), 4096u + 1u);
+    EXPECT_EQ(m.scratchpads().back().capacityBytes(), 4096u);
+
+    // Divisible totals keep the historical even split.
+    OmegaMachine even(omegaParams());
+    for (const Scratchpad &sp : even.scratchpads())
+        EXPECT_EQ(sp.capacityBytes(), 4096u);
+}
+
 TEST(OmegaMachine, ResidentAccessUsesScratchpad)
 {
     OmegaMachine m(omegaParams());

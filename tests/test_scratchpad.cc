@@ -170,8 +170,11 @@ TEST_F(ControllerTest, ResetClearsBusyAndConflicts)
     EXPECT_FALSE(ctrl_.isVertexBusy(3, 55));
 }
 
-TEST(Controller, OverlappingRangesFirstMatchWins)
+TEST(ControllerDeathTest, OverlappingRangesAreRejected)
 {
+    // route() is first-match-wins; overlapping monitored ranges would
+    // silently send the shared span to the wrong prop, so configure()
+    // must refuse them.
     PropSpec a;
     a.start_addr = 0x1000;
     a.type_size = 8;
@@ -183,10 +186,50 @@ TEST(Controller, OverlappingRangesFirstMatchWins)
     b.stride = 8;
     b.count = 20;
     ScratchpadController c(2, 4);
-    c.configure({a, b}, 20);
-    auto r = c.route(0x1000);
+    EXPECT_DEATH(c.configure({a, b}, 20), "overlapping monitored");
+}
+
+TEST(Controller, AdjacentRangesAreDisjoint)
+{
+    // Back-to-back ranges (b starts exactly where a ends) must still be
+    // accepted: the registry bump-allocates exactly this layout.
+    PropSpec a;
+    a.start_addr = 0x1000;
+    a.type_size = 8;
+    a.stride = 8;
+    a.count = 10;
+    PropSpec b;
+    b.start_addr = 0x1000 + 8 * 10;
+    b.type_size = 8;
+    b.stride = 8;
+    b.count = 10;
+    ScratchpadController c(2, 4);
+    c.configure({a, b}, 10);
+    auto r = c.route(b.start_addr);
     ASSERT_TRUE(r.has_value());
-    EXPECT_EQ(r->prop, 0u);
+    EXPECT_EQ(r->prop, 1u);
+}
+
+TEST_F(ControllerTest, RetireCompletedBoundsBusyTable)
+{
+    // Without pruning the busy table grows by one entry per vertex ever
+    // touched by an atomic; retiring at a barrier must drop every entry
+    // whose atomic already finished.
+    for (VertexId v = 0; v < 100; ++v)
+        ctrl_.beginAtomic(v, /*arrival=*/v, /*duration=*/10);
+    EXPECT_EQ(ctrl_.busyTableSize(), 100u);
+
+    // At cycle 50, vertices 0..40 (busy until v+10 <= 50) are done.
+    ctrl_.retireCompleted(50);
+    EXPECT_EQ(ctrl_.busyTableSize(), 59u);
+    // Retired entries no longer serialize; in-flight ones still do.
+    EXPECT_FALSE(ctrl_.isVertexBusy(0, 50));
+    EXPECT_TRUE(ctrl_.isVertexBusy(99, 50));
+    EXPECT_EQ(ctrl_.beginAtomic(0, 50, 5), 50u);
+
+    // Once every atomic has drained, the table must be empty again.
+    ctrl_.retireCompleted(1000);
+    EXPECT_EQ(ctrl_.busyTableSize(), 0u);
 }
 
 } // namespace

@@ -6,7 +6,6 @@
 #include "algorithms/reference.hh"
 
 #include <algorithm>
-#include <deque>
 #include <queue>
 
 #include "algorithms/sssp.hh"
@@ -39,12 +38,14 @@ std::vector<std::int32_t>
 refBfsDepths(const Graph &g, VertexId root)
 {
     std::vector<std::int32_t> depth(g.numVertices(), -1);
-    std::deque<VertexId> queue;
+    // Flat FIFO: a vector with a read cursor visits vertices in exactly
+    // the order a deque would, without its chunked allocation.
+    std::vector<VertexId> queue;
+    queue.reserve(g.numVertices());
     depth[root] = 0;
     queue.push_back(root);
-    while (!queue.empty()) {
-        const VertexId u = queue.front();
-        queue.pop_front();
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const VertexId u = queue[head];
         for (VertexId d : g.outNeighbors(u)) {
             if (depth[d] == -1) {
                 depth[d] = depth[u] + 1;
@@ -89,14 +90,16 @@ refComponents(const Graph &g)
     std::vector<bool> seen(n, false);
     for (VertexId v = 0; v < n; ++v)
         label[v] = v;
+    std::vector<VertexId> queue;
+    queue.reserve(n);
     for (VertexId root = 0; root < n; ++root) {
         if (seen[root])
             continue;
-        std::deque<VertexId> queue{root};
+        queue.clear();
+        queue.push_back(root);
         seen[root] = true;
-        while (!queue.empty()) {
-            const VertexId u = queue.front();
-            queue.pop_front();
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const VertexId u = queue[head];
             label[u] = root;
             for (VertexId d : g.outNeighbors(u)) {
                 if (!seen[d]) {
@@ -156,8 +159,13 @@ refCoreness(const Graph &g)
 
     VertexId remaining = n;
     std::int32_t k = 0;
-    std::deque<VertexId> queue;
+    std::vector<VertexId> queue;
+    queue.reserve(n);
     while (remaining > 0) {
+        // The queue always fully drains before the next scan, so reusing
+        // the buffer with a fresh cursor keeps the exact FIFO order the
+        // cascade below depends on.
+        queue.clear();
         for (VertexId v = 0; v < n; ++v) {
             if (!removed[v] && degree[v] <= k)
                 queue.push_back(v);
@@ -166,9 +174,8 @@ refCoreness(const Graph &g)
             ++k;
             continue;
         }
-        while (!queue.empty()) {
-            const VertexId v = queue.front();
-            queue.pop_front();
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const VertexId v = queue[head];
             if (removed[v])
                 continue;
             removed[v] = true;
@@ -193,10 +200,13 @@ refBcForward(const Graph &g, VertexId root)
     std::vector<std::int32_t> depth(n, -1);
     sigma[root] = 1.0;
     depth[root] = 0;
-    std::deque<VertexId> queue{root};
-    while (!queue.empty()) {
-        const VertexId u = queue.front();
-        queue.pop_front();
+    // Exact-FIFO flat queue: sigma accumulates in visitation order, so
+    // the traversal must match the old deque order bit for bit.
+    std::vector<VertexId> queue;
+    queue.reserve(n);
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const VertexId u = queue[head];
         for (VertexId d : g.outNeighbors(u)) {
             if (depth[d] == -1) {
                 depth[d] = depth[u] + 1;
@@ -221,10 +231,11 @@ refBrandes(const Graph &g, VertexId root)
 
     sigma[root] = 1.0;
     depth[root] = 0;
-    std::deque<VertexId> queue{root};
-    while (!queue.empty()) {
-        const VertexId u = queue.front();
-        queue.pop_front();
+    std::vector<VertexId> queue;
+    queue.reserve(n);
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const VertexId u = queue[head];
         order.push_back(u);
         for (VertexId d : g.outNeighbors(u)) {
             if (depth[d] == -1) {

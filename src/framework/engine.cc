@@ -60,49 +60,6 @@ Engine::configureMachine(VertexId hot_boundary)
 }
 
 void
-Engine::emitCompute(unsigned core, std::uint64_t ops)
-{
-    if (mach_)
-        mach_->compute(core, ops);
-}
-
-void
-Engine::emitLoad(unsigned core, std::uint64_t addr, std::uint32_t size,
-                 AccessClass cls, bool blocking, VertexId vertex,
-                 bool sequential)
-{
-    if (!mach_)
-        return;
-    MemAccess a;
-    a.core = core;
-    a.op = MemOp::Load;
-    a.addr = addr;
-    a.size = size;
-    a.cls = cls;
-    a.blocking = blocking;
-    a.sequential = sequential;
-    a.vertex = vertex;
-    mach_->memAccess(a);
-}
-
-void
-Engine::emitStore(unsigned core, std::uint64_t addr, std::uint32_t size,
-                  AccessClass cls, VertexId vertex, bool sequential)
-{
-    if (!mach_)
-        return;
-    MemAccess a;
-    a.core = core;
-    a.op = MemOp::Store;
-    a.addr = addr;
-    a.size = size;
-    a.cls = cls;
-    a.sequential = sequential;
-    a.vertex = vertex;
-    mach_->memAccess(a);
-}
-
-void
 Engine::emitStreaming(std::uint64_t base, std::uint64_t bytes, bool write,
                       AccessClass cls)
 {
@@ -122,48 +79,6 @@ Engine::emitStreaming(std::uint64_t base, std::uint64_t bytes, bool write,
         mach_->memAccess(a);
         mach_->compute(core, 8);
     });
-}
-
-void
-Engine::emitOffsetsRead(unsigned core, VertexId v, bool sequential)
-{
-    // Reads offsets[v] and offsets[v+1]; they share a line most of the
-    // time, so one 16-byte access models the pair. The out-of-order
-    // window overlaps it with other vertices' work (non-blocking).
-    emitLoad(core, out_offsets_base_ + static_cast<std::uint64_t>(v) * 8,
-             16, AccessClass::EdgeList, /*blocking=*/false, 0, sequential);
-}
-
-void
-Engine::emitEdgeRead(unsigned core, EdgeId i)
-{
-    emitLoad(core, out_arcs_base_ + i * edge_entry_bytes_,
-             edge_entry_bytes_, AccessClass::EdgeList, false, 0,
-             /*sequential=*/true);
-}
-
-void
-Engine::emitInOffsetsRead(unsigned core, VertexId v, bool sequential)
-{
-    emitLoad(core, in_offsets_base_ + static_cast<std::uint64_t>(v) * 8,
-             16, AccessClass::EdgeList, /*blocking=*/false, 0, sequential);
-}
-
-void
-Engine::emitInEdgeRead(unsigned core, EdgeId i)
-{
-    emitLoad(core, in_arcs_base_ + i * edge_entry_bytes_,
-             edge_entry_bytes_, AccessClass::EdgeList, false, 0,
-             /*sequential=*/true);
-}
-
-void
-Engine::emitSrcPropRead(unsigned core, VertexId u)
-{
-    if (!mach_ || !src_prop_)
-        return;
-    mach_->readSrcProp(core, u, src_prop_->addrOf(u),
-                       src_prop_->typeSize());
 }
 
 void

@@ -22,6 +22,7 @@
 #define OMEGA_FRAMEWORK_ENGINE_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -109,29 +110,95 @@ class Engine
     std::uint64_t iterations() const { return iterations_; }
 
     /** @name Raw event emission (custom algorithms: TC, KC). @{ */
-    void emitCompute(unsigned core, std::uint64_t ops);
-    void emitLoad(unsigned core, std::uint64_t addr, std::uint32_t size,
-                  AccessClass cls, bool blocking = false,
-                  VertexId vertex = 0, bool sequential = false);
-    void emitStore(unsigned core, std::uint64_t addr, std::uint32_t size,
-                   AccessClass cls, VertexId vertex = 0,
-                   bool sequential = false);
+    void
+    emitCompute(unsigned core, std::uint64_t ops)
+    {
+        if (mach_)
+            mach_->compute(core, ops);
+    }
+    void
+    emitLoad(unsigned core, std::uint64_t addr, std::uint32_t size,
+             AccessClass cls, bool blocking = false, VertexId vertex = 0,
+             bool sequential = false)
+    {
+        if (!mach_)
+            return;
+        MemAccess a;
+        a.core = core;
+        a.op = MemOp::Load;
+        a.addr = addr;
+        a.size = size;
+        a.cls = cls;
+        a.blocking = blocking;
+        a.sequential = sequential;
+        a.vertex = vertex;
+        mach_->memAccess(a);
+    }
+    void
+    emitStore(unsigned core, std::uint64_t addr, std::uint32_t size,
+              AccessClass cls, VertexId vertex = 0, bool sequential = false)
+    {
+        if (!mach_)
+            return;
+        MemAccess a;
+        a.core = core;
+        a.op = MemOp::Store;
+        a.addr = addr;
+        a.size = size;
+        a.cls = cls;
+        a.sequential = sequential;
+        a.vertex = vertex;
+        mach_->memAccess(a);
+    }
     /** Stream @p bytes sequentially at line granularity (memset-like). */
     void emitStreaming(std::uint64_t base, std::uint64_t bytes, bool write,
                        AccessClass cls);
     /** Read the out-CSR offsets entry of @p v. @p sequential marks the
      *  dense sweep (vertex-ordered, stream-prefetchable). */
-    void emitOffsetsRead(unsigned core, VertexId v,
-                         bool sequential = false);
+    void
+    emitOffsetsRead(unsigned core, VertexId v, bool sequential = false)
+    {
+        // Reads offsets[v] and offsets[v+1]; they share a line most of
+        // the time, so one 16-byte access models the pair. The
+        // out-of-order window overlaps it with other vertices' work
+        // (non-blocking).
+        emitLoad(core,
+                 out_offsets_base_ + static_cast<std::uint64_t>(v) * 8, 16,
+                 AccessClass::EdgeList, /*blocking=*/false, 0, sequential);
+    }
     /** Read the @p i-th global out-edge entry (id [+ weight]). */
-    void emitEdgeRead(unsigned core, EdgeId i);
+    void
+    emitEdgeRead(unsigned core, EdgeId i)
+    {
+        emitLoad(core, out_arcs_base_ + i * edge_entry_bytes_,
+                 edge_entry_bytes_, AccessClass::EdgeList, false, 0,
+                 /*sequential=*/true);
+    }
     /** Read the in-CSR offsets entry of @p v (pull direction). */
-    void emitInOffsetsRead(unsigned core, VertexId v,
-                           bool sequential = true);
+    void
+    emitInOffsetsRead(unsigned core, VertexId v, bool sequential = true)
+    {
+        emitLoad(core,
+                 in_offsets_base_ + static_cast<std::uint64_t>(v) * 8, 16,
+                 AccessClass::EdgeList, /*blocking=*/false, 0, sequential);
+    }
     /** Read the @p i-th global in-edge entry (pull direction). */
-    void emitInEdgeRead(unsigned core, EdgeId i);
+    void
+    emitInEdgeRead(unsigned core, EdgeId i)
+    {
+        emitLoad(core, in_arcs_base_ + i * edge_entry_bytes_,
+                 edge_entry_bytes_, AccessClass::EdgeList, false, 0,
+                 /*sequential=*/true);
+    }
     /** Read @p u's source vtxProp (SVB-eligible on OMEGA). */
-    void emitSrcPropRead(unsigned core, VertexId u);
+    void
+    emitSrcPropRead(unsigned core, VertexId u)
+    {
+        if (!mach_ || !src_prop_)
+            return;
+        mach_->readSrcProp(core, u, src_prop_->addrOf(u),
+                           src_prop_->typeSize());
+    }
     /** @} */
 
     /** Join all cores (end of a parallel region). */
@@ -279,6 +346,16 @@ class Engine
     std::vector<std::uint8_t> next_dense_;
     std::vector<std::uint8_t> in_next_;
     std::vector<std::vector<VertexId>> per_core_sparse_;
+
+    /** Cached per-core clocks for the parallelFor interleave scan. */
+    std::vector<Cycles> core_clocks_;
+
+    /** Reused vertexMap access batch (engine methods are serial). */
+    std::vector<MemAccess> vm_batch_;
+
+    /** Reused task-list scratch for edgeMap / edgeMapPullAll. */
+    std::vector<EdgeTask> task_scratch_;
+    std::vector<EdgeTask> extra_scratch_;
 };
 
 // ---------------------------------------------------------------------
@@ -320,10 +397,47 @@ Engine::parallelFor(std::uint64_t total, F &&f, unsigned chunk)
         }
         return;
     }
-    while (!sched.done()) {
-        const unsigned c = pickCore(sched);
-        const auto i = sched.next(c);
-        f(c, *i);
+    // Machine mode: always advance the lowest-id core among those with
+    // the smallest local clock. coreNow() is a virtual call and f only
+    // moves the worked core's clock, so cache the clocks once and refresh
+    // just that entry per iteration instead of re-polling every core.
+    core_clocks_.resize(num_cores_);
+    for (unsigned c = 0; c < num_cores_; ++c)
+        core_clocks_[c] = mach_->coreNow(c);
+    if (num_cores_ <= 64) {
+        std::uint64_t alive = 0;
+        for (unsigned c = 0; c < num_cores_; ++c) {
+            if (sched.peek(c))
+                alive |= std::uint64_t{1} << c;
+        }
+        while (alive) {
+            // countr_zero walks set bits in index order, so ties still
+            // resolve to the lowest core id.
+            std::uint64_t scan = alive;
+            unsigned best = static_cast<unsigned>(std::countr_zero(scan));
+            Cycles best_t = core_clocks_[best];
+            scan &= scan - 1;
+            while (scan) {
+                const unsigned c =
+                    static_cast<unsigned>(std::countr_zero(scan));
+                scan &= scan - 1;
+                if (core_clocks_[c] < best_t) {
+                    best = c;
+                    best_t = core_clocks_[c];
+                }
+            }
+            const auto i = sched.next(best);
+            f(best, *i);
+            core_clocks_[best] = mach_->coreNow(best);
+            if (!sched.peek(best))
+                alive &= ~(std::uint64_t{1} << best);
+        }
+    } else {
+        while (!sched.done()) {
+            const unsigned c = pickCore(sched);
+            const auto i = sched.next(c);
+            f(c, *i);
+        }
     }
     finishPhase();
 }
@@ -477,7 +591,9 @@ Engine::edgeMap(const VertexSubset &frontier, UpdateF &&update,
                           AccessClass::ActiveList);
         } else {
             in_next_.assign(n, 0);
-            per_core_sparse_.assign(num_cores_, {});
+            per_core_sparse_.resize(num_cores_);
+            for (auto &v : per_core_sparse_)
+                v.clear();
         }
     }
 
@@ -490,8 +606,10 @@ Engine::edgeMap(const VertexSubset &frontier, UpdateF &&update,
                           AccessClass::ActiveList);
         }
         const auto &bits = f.dense();
-        std::vector<EdgeTask> tasks;
-        std::vector<EdgeTask> extras;
+        std::vector<EdgeTask> &tasks = task_scratch_;
+        std::vector<EdgeTask> &extras = extra_scratch_;
+        tasks.clear();
+        extras.clear();
         tasks.reserve(n);
         for (VertexId v = 0; v < n; ++v)
             appendTasks(tasks, extras, v, bits[v] != 0, 0);
@@ -521,8 +639,10 @@ Engine::edgeMap(const VertexSubset &frontier, UpdateF &&update,
     }
 
     const auto &ids = frontier.sparse();
-    std::vector<EdgeTask> tasks;
-    std::vector<EdgeTask> extras;
+    std::vector<EdgeTask> &tasks = task_scratch_;
+    std::vector<EdgeTask> &extras = extra_scratch_;
+    tasks.clear();
+    extras.clear();
     tasks.reserve(ids.size());
     for (std::uint64_t slot = 0; slot < ids.size(); ++slot)
         appendTasks(tasks, extras, ids[slot], true, slot);
@@ -563,8 +683,10 @@ Engine::edgeMapPullAll(const PropArrayBase &src_prop,
 {
     const VertexId n = g_.numVertices();
     // Task list over destinations, hubs split by in-degree.
-    std::vector<EdgeTask> tasks;
-    std::vector<EdgeTask> extras;
+    std::vector<EdgeTask> &tasks = task_scratch_;
+    std::vector<EdgeTask> &extras = extra_scratch_;
+    tasks.clear();
+    extras.clear();
     tasks.reserve(n);
     for (VertexId v = 0; v < n; ++v) {
         EdgeTask first;
@@ -632,17 +754,47 @@ Engine::vertexMap(const VertexSubset &subset, F &&f,
                   const std::vector<const PropArrayBase *> &writes)
 {
     auto apply = [&](unsigned core, VertexId v) {
-        for (const auto *p : reads) {
-            emitLoad(core, p->addrOf(v), p->typeSize(),
-                     AccessClass::VertexProp, false, v,
-                     /*sequential=*/true);
+        if (!mach_) {
+            f(core, v);
+            return;
+        }
+        // The property reads (and separately the writes) are a run of
+        // same-core accesses with nothing in between, so issue each run
+        // through the batch entry point: one virtual call per run. f may
+        // emit its own events (some algorithms do), so the read batch
+        // must go out before it and the write batch after.
+        if (!reads.empty()) {
+            vm_batch_.clear();
+            for (const auto *p : reads) {
+                MemAccess a;
+                a.core = core;
+                a.op = MemOp::Load;
+                a.addr = p->addrOf(v);
+                a.size = p->typeSize();
+                a.cls = AccessClass::VertexProp;
+                a.sequential = true;
+                a.vertex = v;
+                vm_batch_.push_back(a);
+            }
+            mach_->memAccessBatch(vm_batch_);
         }
         f(core, v);
-        for (const auto *p : writes) {
-            emitStore(core, p->addrOf(v), p->typeSize(),
-                      AccessClass::VertexProp, v, /*sequential=*/true);
+        if (!writes.empty()) {
+            vm_batch_.clear();
+            for (const auto *p : writes) {
+                MemAccess a;
+                a.core = core;
+                a.op = MemOp::Store;
+                a.addr = p->addrOf(v);
+                a.size = p->typeSize();
+                a.cls = AccessClass::VertexProp;
+                a.sequential = true;
+                a.vertex = v;
+                vm_batch_.push_back(a);
+            }
+            mach_->memAccessBatch(vm_batch_);
         }
-        emitCompute(core, opts_.ops_per_vertex);
+        mach_->compute(core, opts_.ops_per_vertex);
     };
 
     if (subset.isDense()) {

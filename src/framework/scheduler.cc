@@ -18,31 +18,4 @@ StaticScheduler::StaticScheduler(std::uint64_t total, unsigned num_cores,
         cursor_[c] = static_cast<std::uint64_t>(c) * chunk_;
 }
 
-std::optional<std::uint64_t>
-StaticScheduler::peek(unsigned core) const
-{
-    const std::uint64_t pos = cursor_[core];
-    if (pos >= total_)
-        return std::nullopt;
-    return pos;
-}
-
-std::optional<std::uint64_t>
-StaticScheduler::next(unsigned core)
-{
-    const std::uint64_t pos = cursor_[core];
-    if (pos >= total_)
-        return std::nullopt;
-    // Advance within the chunk; hop to this core's next chunk at the end.
-    const std::uint64_t chunk_off = pos % chunk_;
-    if (chunk_off + 1 < chunk_) {
-        cursor_[core] = pos + 1;
-    } else {
-        cursor_[core] = pos + 1 +
-                        static_cast<std::uint64_t>(num_cores_ - 1) * chunk_;
-    }
-    --remaining_;
-    return pos;
-}
-
 } // namespace omega

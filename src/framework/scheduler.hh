@@ -34,10 +34,34 @@ class StaticScheduler
                     unsigned chunk);
 
     /** Next item for @p core, or nullopt when its share is exhausted. */
-    std::optional<std::uint64_t> next(unsigned core);
+    std::optional<std::uint64_t>
+    next(unsigned core)
+    {
+        const std::uint64_t pos = cursor_[core];
+        if (pos >= total_)
+            return std::nullopt;
+        // Advance within the chunk; hop to this core's next chunk at the
+        // end.
+        const std::uint64_t chunk_off = pos % chunk_;
+        if (chunk_off + 1 < chunk_) {
+            cursor_[core] = pos + 1;
+        } else {
+            cursor_[core] =
+                pos + 1 + static_cast<std::uint64_t>(num_cores_ - 1) * chunk_;
+        }
+        --remaining_;
+        return pos;
+    }
 
     /** Peek without consuming. */
-    std::optional<std::uint64_t> peek(unsigned core) const;
+    std::optional<std::uint64_t>
+    peek(unsigned core) const
+    {
+        const std::uint64_t pos = cursor_[core];
+        if (pos >= total_)
+            return std::nullopt;
+        return pos;
+    }
 
     /** True once every core's share is exhausted. */
     bool done() const { return remaining_ == 0; }

@@ -231,7 +231,7 @@ OmegaMachine::memAccess(const MemAccess &access)
 {
     if (access.cls == AccessClass::VertexProp) {
         countVertexAccess(access.vertex);
-        if (auto route = controller_.route(access.addr)) {
+        if (auto route = controller_.route(access.addr, access.core)) {
             CoreModel &core = cores_[access.core];
             const Cycles lat =
                 scratchpadAccess(access.core, *route, access.size,
@@ -248,7 +248,7 @@ OmegaMachine::readSrcProp(unsigned core, VertexId vertex,
                           std::uint64_t addr, std::uint32_t size)
 {
     countVertexAccess(vertex);
-    if (auto route = controller_.route(addr)) {
+    if (auto route = controller_.route(addr, core)) {
         CoreModel &cm = cores_[core];
         if (route->home == core) {
             // Local scratchpad read; the buffer only caches remote data.
@@ -282,7 +282,7 @@ OmegaMachine::coreAtomic(const AtomicRequest &request)
     CoreModel &core = cores_[request.core];
     ++atomics_on_core_;
 
-    if (auto route = controller_.route(request.addr)) {
+    if (auto route = controller_.route(request.addr, request.core)) {
         // Scratchpad-resident but no PISC (SP-only ablation): the core
         // performs the locked read-modify-write against the scratchpad at
         // word granularity.
@@ -349,7 +349,7 @@ OmegaMachine::atomicUpdate(const AtomicRequest &request)
     ++atomics_total_;
     countVertexAccess(request.vertex);
 
-    auto route = controller_.route(request.addr);
+    auto route = controller_.route(request.addr, request.core);
     if (!route || !params_.pisc_enabled) {
         coreAtomic(request);
         return;

@@ -45,6 +45,12 @@ class OmegaMachine : public MemorySystem
     void configure(const MachineConfig &config) override;
     void compute(unsigned core, std::uint64_t ops) override;
     void memAccess(const MemAccess &access) override;
+    void
+    memAccessBatch(std::span<const MemAccess> accesses) final
+    {
+        for (const MemAccess &a : accesses)
+            OmegaMachine::memAccess(a);
+    }
     void readSrcProp(unsigned core, VertexId vertex, std::uint64_t addr,
                      std::uint32_t size) override;
     void atomicUpdate(const AtomicRequest &request) override;

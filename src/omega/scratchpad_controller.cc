@@ -6,11 +6,25 @@
 #include "omega/scratchpad_controller.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/logging.hh"
 #include "util/stats.hh"
 
 namespace omega {
+
+namespace {
+
+/** log2 of a power of two, or the sentinel for everything else. */
+std::uint8_t
+shiftOf(std::uint64_t v, std::uint8_t sentinel)
+{
+    if (v == 0 || !std::has_single_bit(v))
+        return sentinel;
+    return static_cast<std::uint8_t>(std::countr_zero(v));
+}
+
+} // namespace
 
 ScratchpadController::ScratchpadController(unsigned num_scratchpads,
                                            unsigned chunk_size)
@@ -18,6 +32,16 @@ ScratchpadController::ScratchpadController(unsigned num_scratchpads,
 {
     omega_assert(num_scratchpads_ > 0, "need at least one scratchpad");
     omega_assert(chunk_size_ > 0, "chunk size must be positive");
+    if (std::has_single_bit(static_cast<std::uint64_t>(chunk_size_)) &&
+        std::has_single_bit(static_cast<std::uint64_t>(num_scratchpads_))) {
+        shifts_valid_ = true;
+        chunk_shift_ = static_cast<std::uint8_t>(
+            std::countr_zero(static_cast<std::uint64_t>(chunk_size_)));
+        super_chunk_shift_ = static_cast<std::uint8_t>(
+            chunk_shift_ +
+            std::countr_zero(static_cast<std::uint64_t>(num_scratchpads_)));
+    }
+    memo_.assign(num_scratchpads_, kNoMemo);
 }
 
 void
@@ -51,69 +75,123 @@ ScratchpadController::configure(std::vector<PropSpec> props,
     }
     props_ = std::move(props);
     resident_ = resident_vertices;
-    vertex_busy_until_.clear();
+
+    // Compile the registers into the sorted interval table. Disjointness
+    // (just checked) makes a containment match unique, so the sorted
+    // search resolves exactly like the original first-match scan.
+    table_.clear();
+    table_.reserve(props_.size());
+    for (std::uint32_t i = 0; i < props_.size(); ++i) {
+        const PropSpec &p = props_[i];
+        if (p.count == 0)
+            continue;
+        MonitorRange r;
+        r.start = p.start_addr;
+        r.end = span_end(p);
+        r.stride = p.stride;
+        r.type_size = p.type_size;
+        r.stride_shift = shiftOf(p.stride, kNoShift);
+        r.prop = i;
+        table_.push_back(r);
+    }
+    std::sort(table_.begin(), table_.end(),
+              [](const MonitorRange &a, const MonitorRange &b) {
+                  return a.start < b.start;
+              });
+    // New registers invalidate every core's last-hit memo.
+    memo_.assign(num_scratchpads_, kNoMemo);
+
+    // Size the busy table for the resident range (atomics on cold
+    // vertices never reach beginAtomic; the grow path covers stragglers).
+    busy_until_.resize(resident_);
+    busy_stamp_.resize(resident_, 0);
+    bumpBusyEpoch();
+    busy_live_.clear();
+    max_busy_ = 0;
     conflicts_ = 0;
 }
 
 std::optional<SpRoute>
-ScratchpadController::route(std::uint64_t addr) const
+ScratchpadController::routeSlow(std::uint64_t addr, unsigned core) const
 {
-    for (std::uint32_t i = 0; i < props_.size(); ++i) {
-        const PropSpec &p = props_[i];
-        if (addr < p.start_addr)
-            continue;
-        const std::uint64_t offset = addr - p.start_addr;
-        const std::uint64_t vertex = offset / p.stride;
-        if (vertex >= p.count)
-            continue;
-        if (offset % p.stride >= p.type_size)
-            continue; // between entries of a strided struct
-        if (vertex >= resident_)
-            return std::nullopt; // monitored but not scratchpad-resident
-        SpRoute r;
-        r.vertex = static_cast<VertexId>(vertex);
-        r.prop = i;
-        r.home = homeOf(r.vertex);
-        r.line = lineOf(r.vertex);
-        return r;
-    }
-    return std::nullopt;
-}
-
-VertexId
-ScratchpadController::lineOf(VertexId vertex) const
-{
-    const VertexId super_chunk = chunk_size_ * num_scratchpads_;
-    return (vertex / super_chunk) * chunk_size_ + vertex % chunk_size_;
+    // Last range whose start is <= addr is the only containment
+    // candidate (ranges are disjoint and sorted).
+    auto it = std::upper_bound(table_.begin(), table_.end(), addr,
+                               [](std::uint64_t a, const MonitorRange &r) {
+                                   return a < r.start;
+                               });
+    if (it == table_.begin())
+        return std::nullopt;
+    --it;
+    if (addr >= it->end)
+        return std::nullopt;
+    memo_[core] =
+        static_cast<std::uint32_t>(std::distance(table_.begin(), it));
+    return resolve(*it, addr);
 }
 
 Cycles
 ScratchpadController::beginAtomic(VertexId vertex, Cycles arrival,
                                   Cycles duration)
 {
-    Cycles start = arrival;
-    auto it = vertex_busy_until_.find(vertex);
-    if (it != vertex_busy_until_.end() && it->second > arrival) {
-        ++conflicts_;
-        start = it->second;
+    if (vertex >= busy_until_.size()) {
+        busy_until_.resize(vertex + 1);
+        busy_stamp_.resize(vertex + 1, 0);
     }
-    vertex_busy_until_[vertex] = start + duration;
+    Cycles start = arrival;
+    if (busy_stamp_[vertex] == busy_epoch_) {
+        if (busy_until_[vertex] > arrival) {
+            ++conflicts_;
+            start = busy_until_[vertex];
+        }
+    } else {
+        busy_stamp_[vertex] = busy_epoch_;
+        busy_live_.push_back(vertex);
+    }
+    const Cycles until = start + duration;
+    busy_until_[vertex] = until;
+    max_busy_ = std::max(max_busy_, until);
     return start;
-}
-
-bool
-ScratchpadController::isVertexBusy(VertexId vertex, Cycles now) const
-{
-    auto it = vertex_busy_until_.find(vertex);
-    return it != vertex_busy_until_.end() && it->second > now;
 }
 
 void
 ScratchpadController::retireCompleted(Cycles now)
 {
-    std::erase_if(vertex_busy_until_, [now](const auto &entry) {
-        return entry.second <= now;
-    });
+    if (busy_live_.empty())
+        return;
+    if (max_busy_ <= now) {
+        // The barrier case: every in-flight atomic has completed, so the
+        // whole table retires by invalidating the epoch.
+        bumpBusyEpoch();
+        busy_live_.clear();
+        max_busy_ = 0;
+        return;
+    }
+    // Partial retirement: keep the in-flight entries, re-stamp them into
+    // a fresh epoch so the completed ones expire.
+    bumpBusyEpoch();
+    std::size_t kept = 0;
+    Cycles max_kept = 0;
+    for (const VertexId v : busy_live_) {
+        if (busy_until_[v] > now) {
+            busy_stamp_[v] = busy_epoch_;
+            busy_live_[kept++] = v;
+            max_kept = std::max(max_kept, busy_until_[v]);
+        }
+    }
+    busy_live_.resize(kept);
+    max_busy_ = max_kept;
+}
+
+void
+ScratchpadController::bumpBusyEpoch()
+{
+    if (++busy_epoch_ == 0) {
+        // Wrapped (4B retirements): stale stamps could alias the fresh
+        // epoch, so clear them and restart the sequence.
+        std::fill(busy_stamp_.begin(), busy_stamp_.end(), 0u);
+        busy_epoch_ = 1;
+    }
 }
 
 void
@@ -126,7 +204,9 @@ ScratchpadController::addStats(StatGroup &group) const
 void
 ScratchpadController::reset()
 {
-    vertex_busy_until_.clear();
+    bumpBusyEpoch();
+    busy_live_.clear();
+    max_busy_ = 0;
     conflicts_ = 0;
 }
 

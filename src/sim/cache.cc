@@ -6,8 +6,8 @@
 #include "sim/cache.hh"
 
 #include <algorithm>
+#include <bit>
 
-#include "util/check.hh"
 #include "util/logging.hh"
 
 namespace omega {
@@ -22,62 +22,50 @@ CacheArray::CacheArray(std::uint64_t size_bytes, unsigned ways,
     const std::uint64_t lines = std::max<std::uint64_t>(
         size_bytes / line_bytes_, ways_);
     sets_ = std::max<std::uint64_t>(lines / ways_, 1);
-    lines_.assign(sets_ * ways_, CacheLine{});
-}
-
-CacheLine *
-CacheArray::probe(std::uint64_t addr)
-{
-    const std::uint64_t tag = addr / line_bytes_;
-    CacheLine *set = &lines_[setOf(addr) * ways_];
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].state != LineState::Invalid && set[w].tag == tag)
-            return &set[w];
+    line_shift_ = static_cast<unsigned>(
+        std::countr_zero(static_cast<std::uint64_t>(line_bytes_)));
+    sets_pow2_ = std::has_single_bit(sets_);
+    set_mask_ = sets_pow2_ ? sets_ - 1 : 0;
+    if (!sets_pow2_) {
+        omega_assert(sets_ < (std::uint64_t{1} << 32),
+                     "fastmod magic requires fewer than 2^32 sets");
+        set_magic_ = ~std::uint64_t{0} / sets_ + 1;
     }
-    return nullptr;
-}
-
-const CacheLine *
-CacheArray::probe(std::uint64_t addr) const
-{
-    return const_cast<CacheArray *>(this)->probe(addr);
+    lines_.assign(sets_ * ways_, CacheLine{});
+    tags_.assign(sets_ * ways_, kEmptyTag);
+    lru_.assign(sets_ * ways_, 0);
 }
 
 CacheAccessResult
-CacheArray::access(std::uint64_t addr)
+CacheArray::missFill(std::uint64_t base, std::uint64_t tag,
+                     std::uint64_t addr)
 {
-    const std::uint64_t tag = addr / line_bytes_;
-    CacheLine *set = &lines_[setOf(addr) * ways_];
+    omega_assert(tag != kEmptyTag, "address aliases the empty-tag sentinel");
+
     CacheAccessResult res;
 
-    if constexpr (kInvariantChecksEnabled) {
-        // A tag may occupy at most one way of its set; a duplicate means
-        // a fill skipped the lookup path.
-        unsigned matches = 0;
-        for (unsigned w = 0; w < ways_; ++w) {
-            if (set[w].state != LineState::Invalid && set[w].tag == tag)
-                ++matches;
-        }
-        omega_check(matches <= 1, "duplicate tag within one cache set");
-    }
-
-    CacheLine *victim = &set[0];
+    // No way matched: pick the last invalid way if one exists, otherwise
+    // the (first) true-LRU way. The scan runs on the flat tag/lru rows
+    // only; a sentinel tag is equivalent to state Invalid here because no
+    // fill of this array can be pending while another one starts. Both
+    // reductions are fixed-trip selects (cmov) — victim position has no
+    // pattern a branch predictor could learn. The LRU min may include
+    // stale stamps of invalid ways, but it is only consulted when every
+    // way is valid.
+    const std::uint64_t *tags = &tags_[base];
+    const std::uint64_t *lru = &lru_[base];
+    unsigned empty_w = ways_;
+    unsigned min_w = 0;
+    std::uint64_t min_v = lru[0];
     for (unsigned w = 0; w < ways_; ++w) {
-        CacheLine &line = set[w];
-        if (line.state != LineState::Invalid && line.tag == tag) {
-            line.lru = ++lru_clock_;
-            res.hit = true;
-            res.line = &line;
-            return res;
-        }
-        if (line.state == LineState::Invalid) {
-            victim = &line;
-        } else if (victim->state != LineState::Invalid &&
-                   line.lru < victim->lru) {
-            victim = &line;
-        }
+        empty_w = tags[w] == kEmptyTag ? w : empty_w;
+        const bool older = lru[w] < min_v;
+        min_w = older ? w : min_w;
+        min_v = older ? lru[w] : min_v;
     }
+    const unsigned vw = empty_w != ways_ ? empty_w : min_w;
 
+    CacheLine *victim = &lines_[base + vw];
     if (victim->state != LineState::Invalid) {
         res.evicted = true;
         res.victim_addr = victim->tag * line_bytes_;
@@ -89,8 +77,9 @@ CacheArray::access(std::uint64_t addr)
     }
     *victim = CacheLine{};
     victim->tag = tag;
-    victim->lru = ++lru_clock_;
     victim->state = LineState::Invalid; // caller decides the final state
+    tags_[base + vw] = tag;
+    lru_[base + vw] = ++lru_clock_;
     res.line = victim;
     return res;
 }
@@ -98,14 +87,18 @@ CacheArray::access(std::uint64_t addr)
 void
 CacheArray::invalidate(std::uint64_t addr)
 {
-    if (CacheLine *line = probe(addr))
+    if (CacheLine *line = probe(addr)) {
+        tags_[static_cast<std::uint64_t>(line - lines_.data())] = kEmptyTag;
         *line = CacheLine{};
+    }
 }
 
 void
 CacheArray::flush()
 {
     std::fill(lines_.begin(), lines_.end(), CacheLine{});
+    std::fill(tags_.begin(), tags_.end(), kEmptyTag);
+    std::fill(lru_.begin(), lru_.end(), 0);
 }
 
 } // namespace omega

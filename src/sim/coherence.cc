@@ -41,8 +41,8 @@ CacheHierarchy::backInvalidate(const CacheLine &victim,
 }
 
 Cycles
-CacheHierarchy::access(unsigned core, std::uint64_t addr, bool write,
-                       Cycles now, bool sequential)
+CacheHierarchy::accessSlow(unsigned core, std::uint64_t addr, bool write,
+                           Cycles now, bool sequential, CacheLine *l1_line)
 {
     omega_assert(core < l1_.size(), "core id out of range");
     const std::uint64_t line_addr = l2_.lineAddr(addr);
@@ -50,7 +50,16 @@ CacheHierarchy::access(unsigned core, std::uint64_t addr, bool write,
     const std::uint16_t my_bit = static_cast<std::uint16_t>(1u << core);
 
     ++l1_accesses_;
-    CacheAccessResult l1res = l1_[core].access(line_addr);
+    // The inline fast path already ran the set scan: either it produced
+    // the hit line (a write needing a state transition) or it proved the
+    // miss, so allocation can skip straight to victim selection.
+    CacheAccessResult l1res;
+    if (l1_line) {
+        l1res.hit = true;
+        l1res.line = l1_line;
+    } else {
+        l1res = l1_[core].fillAfterMiss(line_addr);
+    }
     if (l1res.hit) {
         ++l1_hits_;
         Cycles latency = params_.l1d.latency;

@@ -49,8 +49,29 @@ class CacheHierarchy
      *        stream prefetcher (DRAM base latency hidden, bandwidth
      *        still charged).
      */
-    Cycles access(unsigned core, std::uint64_t addr, bool write, Cycles now,
-                  bool sequential = false);
+    Cycles
+    access(unsigned core, std::uint64_t addr, bool write, Cycles now,
+           bool sequential = false)
+    {
+        // Hits that need no protocol action stay inline — the hottest
+        // calls in the simulator. Reads: any L1 hit. Writes: a hit on a
+        // line this core already holds Modified; the directory recorded
+        // {dirty_l1, owner} when the line first became Modified (every
+        // producing transition does, and back-invalidation removes the
+        // L1 copy before its directory entry can disappear), so there is
+        // nothing to update. Everything else (misses, write hits needing
+        // upgrades or directory writes) takes the out-of-line path.
+        omega_assert(core < l1_.size(), "core id out of range");
+        CacheLine *const line = l1_[core].touchHit(l2_.lineAddr(addr));
+        if (line && (!write || line->state == LineState::Modified)) {
+            ++l1_accesses_;
+            ++l1_hits_;
+            return params_.l1d.latency;
+        }
+        // Miss, or a write hit that must transition state: hand the scan
+        // result over so the slow path never repeats the set lookup.
+        return accessSlow(core, addr, write, now, sequential, line);
+    }
 
     /** Crossbar (shared with the scratchpad network on OMEGA). */
     Crossbar &xbar() { return *xbar_; }
@@ -74,6 +95,14 @@ class CacheHierarchy
     const MachineParams &params() const { return params_; }
 
   private:
+    /**
+     * Protocol path of access(): misses and state-changing write hits.
+     * @param l1_line the inline lookup's result for this address — the
+     *        hit line (LRU already touched), or null for a proven miss.
+     */
+    Cycles accessSlow(unsigned core, std::uint64_t addr, bool write,
+                      Cycles now, bool sequential, CacheLine *l1_line);
+
     /** Clear @p victim's presence in the L1s it is registered in. */
     void backInvalidate(const CacheLine &victim, std::uint64_t victim_addr);
 

@@ -6,6 +6,7 @@
 #include "sim/core_model.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.hh"
 #include "util/stats.hh"
@@ -31,26 +32,16 @@ stallEventName(StallKind kind)
 CoreModel::CoreModel(const MachineParams &params)
     : issue_width_(params.issue_width), mshrs_(params.mshrs)
 {
+    if (std::has_single_bit(static_cast<std::uint64_t>(issue_width_))) {
+        issue_shift_ = static_cast<std::uint8_t>(
+            std::countr_zero(static_cast<std::uint64_t>(issue_width_)));
+    }
+    inflight_.reserve(mshrs_);
 }
 
 void
-CoreModel::compute(std::uint64_t ops)
+CoreModel::stallSlow(Cycles t, StallKind kind)
 {
-    instructions_ += ops;
-    op_residue_ += ops;
-    const std::uint64_t cycles = op_residue_ / issue_width_;
-    op_residue_ %= issue_width_;
-    clock_ += cycles;
-    compute_cycles_ += cycles;
-    omega_check(op_residue_ < issue_width_,
-                "instruction residue must stay below the issue width");
-}
-
-void
-CoreModel::stallUntil(Cycles t, StallKind kind)
-{
-    if (t <= clock_)
-        return;
     const Cycles stall = t - clock_;
     if (trace_pid_ > 0) {
         trace::emitComplete(stallEventName(kind), "stall", trace_pid_,
@@ -77,29 +68,26 @@ CoreModel::stallUntil(Cycles t, StallKind kind)
 }
 
 void
-CoreModel::prepareIssue(StallKind kind)
+CoreModel::stallForOldest(StallKind kind)
 {
-    if (inflight_.size() >= mshrs_) {
-        // Window full: wait for the oldest outstanding miss.
-        stallUntil(inflight_.top(), kind);
-        while (!inflight_.empty() && inflight_.top() <= clock_)
-            inflight_.pop();
+    // Window full: wait for the oldest outstanding miss (tracked
+    // incrementally at push time), then drop every completion the stall
+    // covered (there may be several at equal times) in one compacting
+    // pass that also recomputes the tracked minimum.
+    stallUntil(oldest_inflight_, kind);
+    std::size_t live = 0;
+    Cycles oldest = std::numeric_limits<Cycles>::max();
+    for (const Cycles t : inflight_) {
+        if (t > clock_) {
+            inflight_[live++] = t;
+            oldest = std::min(oldest, t);
+        }
     }
+    inflight_.resize(live);
+    oldest_inflight_ = oldest;
     omega_check(inflight_.size() < mshrs_,
                 "overlap window still full after stalling for the "
                 "oldest miss");
-}
-
-void
-CoreModel::issueMemory(Cycles latency, bool blocking, StallKind kind)
-{
-    if (blocking) {
-        stallUntil(clock_ + latency, kind);
-        return;
-    }
-    prepareIssue(kind);
-    if (latency > 1)
-        inflight_.push(clock_ + latency);
 }
 
 void
@@ -111,11 +99,13 @@ CoreModel::serialize(Cycles cost, StallKind kind)
 void
 CoreModel::drain()
 {
-    while (!inflight_.empty()) {
-        const Cycles top = inflight_.top();
-        inflight_.pop();
-        stallUntil(top, StallKind::Memory);
-    }
+    // Stall through completions oldest-first so the trace shows the same
+    // stall segments the ordered queue produced.
+    std::sort(inflight_.begin(), inflight_.end());
+    for (const Cycles t : inflight_)
+        stallUntil(t, StallKind::Memory);
+    inflight_.clear();
+    oldest_inflight_ = std::numeric_limits<Cycles>::max();
 }
 
 void
@@ -148,8 +138,8 @@ CoreModel::reset()
 {
     clock_ = 0;
     op_residue_ = 0;
-    while (!inflight_.empty())
-        inflight_.pop();
+    inflight_.clear();
+    oldest_inflight_ = std::numeric_limits<Cycles>::max();
     instructions_ = 0;
     compute_cycles_ = 0;
     mem_stall_cycles_ = 0;

@@ -16,10 +16,11 @@
 #define OMEGA_SIM_CORE_MODEL_HH
 
 #include <cstdint>
-#include <queue>
+#include <limits>
 #include <vector>
 
 #include "sim/params.hh"
+#include "util/check.hh"
 
 namespace omega {
 
@@ -38,7 +39,26 @@ class CoreModel
     Cycles now() const { return clock_; }
 
     /** Retire @p ops instruction-equivalents. */
-    void compute(std::uint64_t ops);
+    void
+    compute(std::uint64_t ops)
+    {
+        instructions_ += ops;
+        op_residue_ += ops;
+        // One call per simulated edge: for the usual power-of-two issue
+        // width the divide/mod pair reduces to shift/mask.
+        std::uint64_t cycles;
+        if (issue_shift_ != kNoIssueShift) {
+            cycles = op_residue_ >> issue_shift_;
+            op_residue_ &= issue_width_ - 1;
+        } else {
+            cycles = op_residue_ / issue_width_;
+            op_residue_ %= issue_width_;
+        }
+        clock_ += cycles;
+        compute_cycles_ += cycles;
+        omega_check(op_residue_ < issue_width_,
+                    "instruction residue must stay below the issue width");
+    }
 
     /** Occupy the pipeline for @p cycles of useful (non-stall) work. */
     void busy(Cycles cycles)
@@ -53,7 +73,13 @@ class CoreModel
      * outstanding miss completes. Call BEFORE probing the memory system
      * so shared resources (DRAM queues) see the post-stall issue time.
      */
-    void prepareIssue(StallKind kind = StallKind::Memory);
+    void
+    prepareIssue(StallKind kind = StallKind::Memory)
+    {
+        if (inflight_.size() < mshrs_)
+            return; // free slot: the dominant case
+        stallForOldest(kind);
+    }
 
     /**
      * Issue a memory operation whose hierarchy latency is @p latency.
@@ -62,8 +88,22 @@ class CoreModel
      * @param blocking stall the core until completion.
      * @param kind stall bucket charged for any stall incurred.
      */
-    void issueMemory(Cycles latency, bool blocking,
-                     StallKind kind = StallKind::Memory);
+    void
+    issueMemory(Cycles latency, bool blocking,
+                StallKind kind = StallKind::Memory)
+    {
+        if (blocking) {
+            stallUntil(clock_ + latency, kind);
+            return;
+        }
+        prepareIssue(kind);
+        if (latency > 1) {
+            const Cycles t = clock_ + latency;
+            inflight_.push_back(t);
+            if (t < oldest_inflight_)
+                oldest_inflight_ = t;
+        }
+    }
 
     /** Charge a fixed pipeline-hold cost (atomic serialization). */
     void serialize(Cycles cost, StallKind kind = StallKind::Atomic);
@@ -99,17 +139,38 @@ class CoreModel
     void reset();
 
   private:
-    void stallUntil(Cycles t, StallKind kind);
+    /** Advance the clock to @p t, charging the gap to @p kind. */
+    void
+    stallUntil(Cycles t, StallKind kind)
+    {
+        if (t <= clock_)
+            return; // already past the completion time: no stall
+        stallSlow(t, kind);
+    }
+    /** Stall bookkeeping (trace event + bucket attribution). */
+    void stallSlow(Cycles t, StallKind kind);
+    /** Full overlap window: wait for the oldest miss, drop completed. */
+    void stallForOldest(StallKind kind);
 
     unsigned issue_width_;
     unsigned mshrs_;
+    /** log2(issue_width_), or kNoIssueShift when it is not a pow2. */
+    static constexpr std::uint8_t kNoIssueShift = 0xFF;
+    std::uint8_t issue_shift_ = kNoIssueShift;
     int trace_pid_ = 0;
     int trace_tid_ = 0;
     Cycles clock_ = 0;
     /** Fractional instruction residue (sub-cycle issue accounting). */
     std::uint64_t op_residue_ = 0;
-    std::priority_queue<Cycles, std::vector<Cycles>, std::greater<>>
-        inflight_;
+    /**
+     * Completion times of outstanding misses, unordered. Bounded by
+     * mshrs_ (single digits), so linear min scans beat a binary heap and
+     * push stays allocation-free after the reserve in the constructor.
+     */
+    std::vector<Cycles> inflight_;
+    /** min(inflight_), or the sentinel max when empty — kept in step by
+     *  every push/compaction so a full window stalls without a scan. */
+    Cycles oldest_inflight_ = std::numeric_limits<Cycles>::max();
     std::uint64_t instructions_ = 0;
     std::uint64_t compute_cycles_ = 0;
     std::uint64_t mem_stall_cycles_ = 0;

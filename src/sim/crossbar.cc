@@ -17,23 +17,6 @@ Crossbar::Crossbar(const MachineParams &params)
 }
 
 void
-Crossbar::recordTransfer(std::uint32_t payload_bytes)
-{
-    const std::uint32_t total = payload_bytes + header_bytes_;
-    ++packets_;
-    bytes_ += total;
-    flits_ += (total + flit_bytes_ - 1) / flit_bytes_;
-}
-
-void
-Crossbar::recordControl()
-{
-    ++packets_;
-    bytes_ += header_bytes_;
-    ++flits_;
-}
-
-void
 Crossbar::addStats(StatGroup &group) const
 {
     group.addScalar("bytes", &bytes_, "on-chip bytes moved");

@@ -33,9 +33,22 @@ class Crossbar
     Cycles roundTrip() const { return 2 * one_way_ + 1; }
 
     /** Record a data packet carrying @p payload_bytes. */
-    void recordTransfer(std::uint32_t payload_bytes);
+    void
+    recordTransfer(std::uint32_t payload_bytes)
+    {
+        const std::uint32_t total = payload_bytes + header_bytes_;
+        ++packets_;
+        bytes_ += total;
+        flits_ += (total + flit_bytes_ - 1) / flit_bytes_;
+    }
     /** Record a header-only control packet (inv, ack, upgrade). */
-    void recordControl();
+    void
+    recordControl()
+    {
+        ++packets_;
+        bytes_ += header_bytes_;
+        ++flits_;
+    }
 
     std::uint64_t bytes() const { return bytes_; }
     std::uint64_t flits() const { return flits_; }

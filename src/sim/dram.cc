@@ -6,6 +6,7 @@
 #include "sim/dram.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/logging.hh"
 #include "util/trace.hh"
@@ -19,11 +20,27 @@ Dram::Dram(const MachineParams &params)
       channel_free_(params.dram_channels, 0)
 {
     omega_assert(bytes_per_cycle_ > 0.0, "dram bandwidth must be positive");
+    const auto lb = static_cast<std::uint64_t>(line_bytes_);
+    const std::uint64_t channels = channel_free_.size();
+    if (std::has_single_bit(lb) && std::has_single_bit(channels)) {
+        geometry_pow2_ = true;
+        line_shift_ = static_cast<unsigned>(std::countr_zero(lb));
+        channel_mask_ = channels - 1;
+    }
+    line_occupancy_ = std::max<Cycles>(
+        static_cast<Cycles>(static_cast<double>(line_bytes_) /
+                                bytes_per_cycle_ +
+                            0.5),
+        1);
+    line_transfer_ = static_cast<Cycles>(static_cast<double>(line_bytes_) /
+                                         bytes_per_cycle_);
 }
 
 unsigned
 Dram::channelOf(std::uint64_t addr) const
 {
+    if (geometry_pow2_)
+        return static_cast<unsigned>((addr >> line_shift_) & channel_mask_);
     return static_cast<unsigned>((addr / line_bytes_) %
                                  channel_free_.size());
 }
@@ -32,9 +49,15 @@ Cycles
 Dram::occupy(Cycles now, unsigned channel, std::uint32_t bytes)
 {
     const Cycles start = std::max(now, channel_free_[channel]);
-    const auto occupancy = static_cast<Cycles>(
-        static_cast<double>(bytes) / bytes_per_cycle_ + 0.5);
-    channel_free_[channel] = start + std::max<Cycles>(occupancy, 1);
+    const Cycles occupancy =
+        bytes == line_bytes_
+            ? line_occupancy_
+            : std::max<Cycles>(
+                  static_cast<Cycles>(static_cast<double>(bytes) /
+                                          bytes_per_cycle_ +
+                                      0.5),
+                  1);
+    channel_free_[channel] = start + occupancy;
     queue_cycles_ += start - now;
     max_queue_ = std::max(max_queue_, start - now);
     queue_hist_.sample(static_cast<double>(start - now));
@@ -49,8 +72,11 @@ Dram::read(Cycles now, std::uint64_t addr, std::uint32_t bytes,
     read_bytes_ += bytes;
     const unsigned ch = channelOf(addr);
     const Cycles start = occupy(now, ch, bytes);
-    const auto transfer = static_cast<Cycles>(
-        static_cast<double>(bytes) / bytes_per_cycle_);
+    const Cycles transfer =
+        bytes == line_bytes_
+            ? line_transfer_
+            : static_cast<Cycles>(static_cast<double>(bytes) /
+                                  bytes_per_cycle_);
     // A prefetched stream line was requested ahead of the demand access,
     // hiding the array access latency — but it still needed a transfer
     // slot, so queueing (the bandwidth bound) reaches the core.

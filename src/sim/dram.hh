@@ -77,6 +77,15 @@ class Dram
     Cycles base_latency_;
     double bytes_per_cycle_;
     unsigned line_bytes_;
+    /** log2(line_bytes_) when it is a power of two, else 0. */
+    unsigned line_shift_ = 0;
+    bool geometry_pow2_ = false;
+    std::uint64_t channel_mask_ = 0;
+    /** Precomputed occupancy / transfer cycles of one full line — the
+     *  only transfer size the hierarchy issues — so the hot path skips
+     *  the double divisions. */
+    Cycles line_occupancy_ = 1;
+    Cycles line_transfer_ = 0;
     int trace_pid_ = 0;
     std::vector<Cycles> channel_free_;
     std::uint64_t reads_ = 0;

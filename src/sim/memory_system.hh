@@ -13,6 +13,7 @@
 #ifndef OMEGA_SIM_MEMORY_SYSTEM_HH
 #define OMEGA_SIM_MEMORY_SYSTEM_HH
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,20 @@ class MemorySystem
 
     /** Issue a load or store. */
     virtual void memAccess(const MemAccess &access) = 0;
+
+    /**
+     * Issue a run of accesses that the caller guarantees are consecutive
+     * in simulated order with no intervening machine events — e.g. one
+     * vertexMap task's property reads. Timing-identical to calling
+     * memAccess() per element; implementations override it only to pay
+     * the virtual dispatch once per run instead of once per access.
+     */
+    virtual void
+    memAccessBatch(std::span<const MemAccess> accesses)
+    {
+        for (const MemAccess &a : accesses)
+            memAccess(a);
+    }
 
     /**
      * Read a source vertex's vtxProp (paper section V.C). OMEGA consults

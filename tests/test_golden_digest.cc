@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pinned-sweep byte-identity: one fig14 configuration's --json document,
+ * captured on the pre-optimization simulation kernel, digested and
+ * pinned. Any kernel change that alters a single simulated counter — or
+ * even the byte layout of the document — fails here, which is what lets
+ * host-side performance work proceed without re-auditing every figure.
+ *
+ * The digest covers the full BenchSession JSON document for PageRank on
+ * the smallest fig14 dataset (sd), baseline and omega machines: machine
+ * parameters, end-of-run StatsReport, derived metrics, the complete stat
+ * tree and the interval time series.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hh"
+
+namespace omega {
+namespace {
+
+using bench::BenchSession;
+using bench::MachineKind;
+using bench::runOn;
+
+/** FNV-1a 64-bit over the document bytes. */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+TEST(GoldenDigest, Fig14PageRankSdJsonIsByteIdentical)
+{
+    const std::string path = "golden_digest_fig14.json";
+    {
+        std::string prog = "test_golden_digest";
+        std::string flag = "--json";
+        std::string arg = path;
+        char *argv[] = {prog.data(), flag.data(), arg.data()};
+        BenchSession session("bench_fig14_speedup", 3, argv);
+
+        const auto spec = findDataset("sd");
+        ASSERT_TRUE(spec.has_value());
+        runOn(*spec, AlgorithmKind::PageRank, MachineKind::Baseline);
+        runOn(*spec, AlgorithmKind::PageRank, MachineKind::Omega);
+    } // session destruction writes the document
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string doc = buf.str();
+    ASSERT_FALSE(doc.empty());
+
+    // Captured from the pre-optimization kernel (see CHANGES.md); the
+    // optimized kernel must reproduce the document byte for byte.
+    const std::uint64_t kPinnedDigest = 0x0fb81fd4f4d6f6eeull;
+    EXPECT_EQ(fnv1a(doc), kPinnedDigest)
+        << "simulated results diverged from the pinned pre-optimization "
+           "document ("
+        << doc.size() << " bytes; digest 0x" << std::hex << fnv1a(doc)
+        << ")";
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace omega

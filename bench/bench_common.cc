@@ -5,10 +5,14 @@
 
 #include "bench_common.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -76,6 +80,37 @@ machineFor(MachineKind kind, const DatasetSpec &spec)
 namespace {
 
 BenchSession *g_active_session = nullptr;
+
+/** Bad command line: print the message + usage to stderr and exit(2). */
+[[noreturn]] void
+usageError(const std::string &bench, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", bench.c_str(), msg.c_str());
+    std::fprintf(stderr,
+                 "usage: %s [--json <path>] [--trace <path>]"
+                 " [--interval <cycles>] [--jobs <n>]"
+                 " [--faults <key=value,...>] [bench args...]\n",
+                 bench.c_str());
+    std::exit(2);
+}
+
+/**
+ * Parse a non-negative integer flag operand. Rejects signs (a negative
+ * count must not wrap to a huge unsigned value), garbage and overflow.
+ */
+bool
+parseCount(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty() || !std::isdigit(static_cast<unsigned char>(tok[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (errno == ERANGE || end == nullptr || *end != '\0')
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
 
 void
 writeParamsJson(JsonWriter &w, const MachineParams &p)
@@ -150,7 +185,8 @@ runKey(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
 CompletedRun
 executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
            const std::function<void(MachineParams &)> &tweak, bool want_json,
-           bool want_trace, Cycles interval_cycles)
+           bool want_trace, Cycles interval_cycles,
+           const FaultPlan *faults)
 {
     const Graph &g = datasetGraph(spec);
     MachineParams params = machineFor(kind, spec);
@@ -164,6 +200,8 @@ executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
         m = std::make_unique<BaselineMachine>(params);
     else
         m = std::make_unique<OmegaMachine>(params);
+    if (faults != nullptr)
+        m->armFaults(*faults);
 
     std::optional<trace::ScopedSink> scoped;
     if (want_trace) {
@@ -187,6 +225,13 @@ executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
             tree->writeJson(w);
             omega_assert(w.complete(), "stat-tree JSON left unterminated");
             run.stat_tree_json = os.str();
+        }
+        if (const FaultInjector *inj = m->faultInjector()) {
+            std::ostringstream os;
+            JsonWriter w(os, /*pretty=*/false);
+            inj->writeJson(w);
+            omega_assert(w.complete(), "fault JSON left unterminated");
+            run.fault_json = os.str();
         }
     }
     run.intervals = recorder;
@@ -218,9 +263,17 @@ runOn(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
 
     const bool want_json = observe && session->jsonEnabled();
     const bool want_trace = observe && session->traceEnabled();
-    CompletedRun run =
-        executeRun(spec, algo, kind, tweak, want_json, want_trace,
-                   observe ? session->intervalCycles() : 0);
+    CompletedRun run;
+    try {
+        run = executeRun(spec, algo, kind, tweak, want_json, want_trace,
+                         observe ? session->intervalCycles() : 0,
+                         session != nullptr ? session->faultPlan()
+                                            : nullptr);
+    } catch (const WatchdogError &e) {
+        if (session != nullptr)
+            session->abortSession(e.what()); // flushes partial JSON, exits
+        throw;
+    }
     if (observe)
         session->recordCompleted(spec.name, algorithmName(algo),
                                  machineKindName(kind), run);
@@ -269,23 +322,46 @@ BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
         raw.emplace_back(argv[i]);
     for (std::size_t i = 0; i < raw.size(); ++i) {
         const std::string &arg = raw[i];
-        const bool has_operand = i + 1 < raw.size();
+        auto operand = [&](const char *flag) -> const std::string & {
+            if (i + 1 >= raw.size()) {
+                usageError(bench_name_,
+                           std::string(flag) + " requires an operand");
+            }
+            return raw[++i];
+        };
         if (arg == "--json") {
-            omega_assert(has_operand, "--json requires a path operand");
-            json_path_ = raw[++i];
+            json_path_ = operand("--json");
         } else if (arg == "--trace") {
-            omega_assert(has_operand, "--trace requires a path operand");
-            trace_path_ = raw[++i];
+            trace_path_ = operand("--trace");
         } else if (arg == "--interval") {
-            omega_assert(has_operand,
-                         "--interval requires a cycle-count operand");
-            interval_cycles_ = std::strtoull(raw[++i].c_str(), nullptr, 10);
+            const std::string &tok = operand("--interval");
+            std::uint64_t cycles = 0;
+            if (!parseCount(tok, cycles)) {
+                usageError(bench_name_, "--interval operand '" + tok +
+                                            "' is not a non-negative "
+                                            "cycle count");
+            }
+            interval_cycles_ = cycles;
         } else if (arg == "--jobs") {
-            omega_assert(has_operand,
-                         "--jobs requires a thread-count operand");
-            jobs_ = static_cast<unsigned>(
-                std::strtoul(raw[++i].c_str(), nullptr, 10));
-            omega_assert(jobs_ >= 1, "--jobs must be >= 1");
+            const std::string &tok = operand("--jobs");
+            std::uint64_t jobs = 0;
+            if (!parseCount(tok, jobs) || jobs < 1 ||
+                jobs > std::numeric_limits<unsigned>::max()) {
+                usageError(bench_name_, "--jobs operand '" + tok +
+                                            "' is not a thread count "
+                                            ">= 1");
+            }
+            jobs_ = static_cast<unsigned>(jobs);
+        } else if (arg == "--faults") {
+            const std::string &tok = operand("--faults");
+            std::string error;
+            faults_ = FaultPlan::parse(tok, &error);
+            if (!faults_.has_value()) {
+                usageError(bench_name_,
+                           "--faults spec '" + tok + "': " + error);
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            usageError(bench_name_, "unknown flag '" + arg + "'");
         } else {
             // Left for the bench itself. Only these survive into the
             // JSON document, so the document does not depend on output
@@ -323,6 +399,21 @@ BenchSession::active()
 }
 
 void
+BenchSession::abortSession(const std::string &reason)
+{
+    aborted_ = true;
+    abort_reason_ = reason;
+    warn("bench aborted: ", reason);
+    // Flush everything collected so far; a partial document beats losing
+    // the whole sweep. std::exit() skips the destructor, so write here.
+    if (jsonEnabled())
+        writeJsonDoc();
+    if (sink_ != nullptr)
+        writeTraceFile();
+    std::exit(1);
+}
+
+void
 BenchSession::recordCompleted(const std::string &dataset,
                               const std::string &algorithm,
                               const std::string &machine,
@@ -339,6 +430,7 @@ BenchSession::recordCompleted(const std::string &dataset,
     rec.outcome = run.outcome;
     rec.stat_tree_json = run.stat_tree_json;
     rec.intervals = run.intervals;
+    rec.fault_json = run.fault_json;
     runs_.push_back(std::move(rec));
 }
 
@@ -367,6 +459,15 @@ BenchSession::writeJsonDoc() const
     w.beginObject();
     w.field("schema_version", kSchemaVersion);
     w.field("bench", bench_name_);
+    // Conditional fields: absent in a normal fault-free session, so the
+    // default document layout (and the pinned golden digest) is
+    // untouched.
+    if (aborted_) {
+        w.field("status", "aborted");
+        w.field("abort_reason", abort_reason_);
+    }
+    if (faults_.has_value())
+        w.field("fault_plan", faults_->describe());
     w.key("args").beginArray();
     for (const std::string &a : args_)
         w.value(a);
@@ -390,6 +491,8 @@ BenchSession::writeJsonDoc() const
         writeDerivedJson(w, rec.outcome);
         if (!rec.stat_tree_json.empty())
             w.key("stat_tree").rawValue(rec.stat_tree_json);
+        if (!rec.fault_json.empty())
+            w.key("faults").rawValue(rec.fault_json);
         w.key("intervals");
         rec.intervals.writeJson(w);
         w.endObject();
@@ -460,12 +563,25 @@ SweepRunner::run()
     const bool want_json = session->jsonEnabled();
     const bool want_trace = session->traceEnabled();
     const Cycles interval = session->intervalCycles();
+    const FaultPlan *faults = session->faultPlan();
     std::vector<CompletedRun> results(planned_.size());
+    // Workers must not throw across the pool: capture the first watchdog
+    // trip and abort (flushing the partial document) on this thread.
+    std::mutex failure_mutex;
+    std::optional<std::string> failure;
     parallelFor(planned_.size(), jobs_, [&](std::size_t i) {
         const PlannedRun &p = planned_[i];
-        results[i] = executeRun(p.spec, p.algo, p.kind, p.tweak, want_json,
-                                want_trace, interval);
+        try {
+            results[i] = executeRun(p.spec, p.algo, p.kind, p.tweak,
+                                    want_json, want_trace, interval, faults);
+        } catch (const WatchdogError &e) {
+            std::lock_guard<std::mutex> lock(failure_mutex);
+            if (!failure.has_value())
+                failure = e.what();
+        }
     });
+    if (failure.has_value())
+        session->abortSession(*failure);
     // Deposit in plan order; the bench's own loops consume from the map
     // in their original sequential order, so recorded output is
     // independent of which worker finished first.

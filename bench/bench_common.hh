@@ -14,11 +14,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "algorithms/algorithms.hh"
 #include "graph/datasets.hh"
+#include "sim/fault.hh"
 #include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
 #include "sim/params.hh"
@@ -86,6 +88,8 @@ struct CompletedRun
     IntervalRecorder intervals;
     /** Per-run trace events (only when the session traces). */
     std::unique_ptr<trace::TraceSink> trace_sink;
+    /** Pre-rendered fault campaign object (only when faults are armed). */
+    std::string fault_json;
 };
 
 /**
@@ -102,9 +106,14 @@ struct CompletedRun
  *   --interval <cycles> cadence for interval samples (default 0: only
  *                       iteration/final samples are taken);
  *   --jobs <n>          execute SweepRunner-planned runs on up to n
- *                       threads (default 1: fully sequential).
+ *                       threads (default 1: fully sequential);
+ *   --faults <spec>     arm every machine runOn() builds with the fault
+ *                       plan parsed from <spec> (see FaultPlan::parse).
  *
- * Remaining arguments are left for the bench itself (and are the only
+ * Flag operands are validated: a missing operand, a malformed or
+ * out-of-range number (--jobs 0), a bad fault spec, or an unrecognized
+ * '-' flag prints a usage message and exits with status 2. Remaining
+ * non-flag arguments are left for the bench itself (and are the only
  * ones echoed into the JSON document, so the document is independent of
  * output paths and job count).
  *
@@ -134,6 +143,18 @@ class BenchSession
     Cycles intervalCycles() const { return interval_cycles_; }
     /** Worker threads for SweepRunner (--jobs, >= 1). */
     unsigned jobs() const { return jobs_; }
+    /** The --faults plan, or nullptr when no campaign is armed. */
+    const FaultPlan *faultPlan() const
+    {
+        return faults_.has_value() ? &*faults_ : nullptr;
+    }
+
+    /**
+     * Fatal-fault/watchdog bailout: flush the partial --json document
+     * with "status": "aborted" and the reason (plus any trace collected
+     * so far) instead of losing the whole sweep, then exit(1).
+     */
+    [[noreturn]] void abortSession(const std::string &reason);
 
     /** Document schema version (bump on incompatible layout changes). */
     static constexpr int kSchemaVersion = 1;
@@ -161,6 +182,7 @@ class BenchSession
         RunOutcome outcome;
         std::string stat_tree_json;
         IntervalRecorder intervals;
+        std::string fault_json;
     };
 
     void writeJsonDoc() const;
@@ -173,6 +195,9 @@ class BenchSession
     std::string trace_path_;
     Cycles interval_cycles_ = 0;
     unsigned jobs_ = 1;
+    std::optional<FaultPlan> faults_;
+    bool aborted_ = false;
+    std::string abort_reason_;
     std::unique_ptr<trace::TraceSink> sink_;
     std::vector<RunRecord> runs_;
     std::map<std::string, CompletedRun> prewarmed_;

@@ -56,6 +56,7 @@ Engine::configureMachine(VertexId hot_boundary)
     MachineConfig config = buildMachineConfig(
         g_.numVertices(), props_.specs(), fn_, dense_active_base_,
         sparse_active_base_, sparse_counter_addr_, hot_boundary);
+    config.watchdog_cycles = opts_.watchdog_cycles;
     mach_->configure(config);
 }
 

@@ -58,6 +58,13 @@ struct EngineOptions
      * distorting load balance and shared-resource contention.
      */
     unsigned max_edges_per_task = 256;
+    /**
+     * Forward-progress watchdog budget per barrier phase, in cycles; the
+     * machine throws WatchdogError (with a diagnostic state dump)
+     * instead of hanging when a barrier or busy-table entry stops
+     * retiring. 0 disables the watchdog.
+     */
+    Cycles watchdog_cycles = 0;
 };
 
 /** What an update lambda did for one edge (drives event emission). */

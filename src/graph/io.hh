@@ -10,6 +10,7 @@
 #define OMEGA_GRAPH_IO_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "graph/builder.hh"
@@ -17,10 +18,26 @@
 
 namespace omega {
 
-/** Parse an edge list from a stream. Returns edges; sets @p max_vertex. */
-EdgeList readEdgeList(std::istream &is, VertexId &max_vertex);
+/**
+ * Parse an edge list from a stream. Returns edges; sets @p max_vertex.
+ *
+ * Malformed input is rejected with fatal(): non-numeric or negative
+ * vertex ids, ids too large for VertexId, weights outside int32, extra
+ * tokens on a line, and stream-level read errors (truncated files).
+ *
+ * @param declared_vertices if non-null, receives the vertex count from a
+ *        "# vertices N ..." header comment (as written by
+ *        writeEdgeList) when one is present.
+ */
+EdgeList readEdgeList(std::istream &is, VertexId &max_vertex,
+                      std::optional<VertexId> *declared_vertices = nullptr);
 
-/** Load a file and build a graph (fatal() on I/O errors). */
+/**
+ * Load a file and build a graph (fatal() on I/O and parse errors). A
+ * "# vertices N" header pins the vertex count — preserving isolated
+ * trailing vertices — and an edge referencing a vertex outside the
+ * declared range is an error.
+ */
 Graph loadGraphFile(const std::string &path, const BuildOptions &opts = {});
 
 /** Write the graph's arcs as an edge list. */

@@ -6,6 +6,7 @@
 #include "omega/omega_machine.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/logging.hh"
 #include "util/trace.hh"
@@ -161,6 +162,42 @@ OmegaMachine::configure(const MachineConfig &config)
         pisc.loadMicrocode(config.microcode_program,
                            config.microcode_cycles,
                            config.microcode_initiation);
+
+    last_barrier_cycles_ = global_cycles_;
+    refreshWatchdog();
+}
+
+void
+OmegaMachine::armFaults(const FaultPlan &plan)
+{
+    if (injector_ == nullptr) {
+        injector_ = std::make_unique<FaultInjector>(plan);
+        // Lazy stat registration: the "faults" group only exists on armed
+        // runs, so the unarmed stat tree stays byte-identical.
+        fault_group_ = std::make_unique<StatGroup>("faults");
+        injector_->addStats(*fault_group_);
+        stats_root_.addChild(fault_group_.get());
+    } else {
+        // Re-arm in place: the stat group holds pointers into the
+        // injector's counters, so the object's address must not change.
+        *injector_ = FaultInjector(plan);
+    }
+    hierarchy_.dram().setFaultInjector(injector_.get());
+    hierarchy_.xbar().setFaultInjector(injector_.get());
+    for (std::size_t c = 0; c < piscs_.size(); ++c)
+        piscs_[c].setFaultInjector(injector_.get(),
+                                   static_cast<unsigned>(c));
+    refreshWatchdog();
+}
+
+void
+OmegaMachine::refreshWatchdog()
+{
+    watchdog_cycles_ = config_.watchdog_cycles != 0
+                           ? config_.watchdog_cycles
+                           : (injector_ != nullptr
+                                  ? injector_->plan().watchdog_cycles
+                                  : 0);
 }
 
 void
@@ -189,7 +226,10 @@ OmegaMachine::scratchpadAccess(unsigned core, const SpRoute &route,
 
     if (route.home == core) {
         ++sp_local_;
-        return sp.latency();
+        Cycles lat = sp.latency();
+        if (injector_ != nullptr && !write)
+            lat += spFaultPenalty(core, route, lat);
+        return lat;
     }
     ++sp_remote_;
     // Word-granularity packets: the request carries the address (and the
@@ -208,7 +248,67 @@ OmegaMachine::scratchpadAccess(unsigned core, const SpRoute &route,
     const Cycles serialization =
         (payload + params_.xbar_header_bytes + params_.xbar_flit_bytes -
          1) / params_.xbar_flit_bytes - 1;
-    return sp.latency() + hierarchy_.xbar().roundTrip() + serialization;
+    Cycles lat = sp.latency() + hierarchy_.xbar().roundTrip() +
+                 serialization;
+    if (injector_ != nullptr) {
+        lat += hierarchy_.xbar().faultLatency(cores_[core].now(),
+                                              hierarchy_.xbar().roundTrip());
+        if (!write)
+            lat += spFaultPenalty(core, route, lat);
+    }
+    return lat;
+}
+
+Cycles
+OmegaMachine::spFaultPenalty(unsigned core, const SpRoute &route,
+                             Cycles base_latency)
+{
+    const Cycles now = cores_[core].now();
+    if (!injector_->spEccError(route.home, route.vertex, now))
+        return 0;
+    // The corrupted word may have been copied into the reader's SVB; drop
+    // that entry so recovery re-fetches instead of serving stale data.
+    svbs_[core].invalidate(route.vertex, route.prop);
+
+    const FaultPlan &plan = injector_->plan();
+    Cycles penalty = 0;
+    bool recovered = false;
+    if (plan.retries_enabled) {
+        for (unsigned attempt = 0; attempt < plan.max_retries; ++attempt) {
+            penalty += base_latency; // each retry repeats the access
+            injector_->recordRetry(FaultKind::SpEccError, route.home,
+                                   route.vertex, now + penalty);
+            if (!injector_->spEccError(route.home, route.vertex,
+                                       now + penalty)) {
+                recovered = true;
+                break;
+            }
+        }
+    }
+    const bool persistent = injector_->registerLineError(route.vertex);
+    // Retry exhaustion means the line keeps erroring: treat as persistent.
+    const bool exhausted = plan.retries_enabled && !recovered;
+    if (!persistent && !exhausted) {
+        if (recovered)
+            return penalty;
+        // Retries disabled: serve the read by re-fetching from memory.
+        penalty += params_.dram_latency + hierarchy_.xbar().roundTrip();
+        injector_->recordRefetch(route.home, route.vertex, now + penalty);
+        return penalty;
+    }
+
+    // Persistent fault: poison the line so every later access takes the
+    // cache path, demote the whole scratchpad once it accumulates enough
+    // bad lines, and re-fetch the value from memory.
+    controller_.poisonLine(route.vertex);
+    injector_->recordLinePoisoned(route.home, route.vertex, now + penalty);
+    if (injector_->registerScratchpadFault(route.home)) {
+        controller_.demoteScratchpad(route.home);
+        injector_->recordDemotion(route.home, now + penalty);
+    }
+    penalty += params_.dram_latency + hierarchy_.xbar().roundTrip();
+    injector_->recordRefetch(route.home, route.vertex, now + penalty);
+    return penalty;
 }
 
 void
@@ -254,7 +354,10 @@ OmegaMachine::readSrcProp(unsigned core, VertexId vertex,
             // Local scratchpad read; the buffer only caches remote data.
             scratchpads_[route->home].recordRead(size);
             ++sp_local_;
-            cm.issueMemory(scratchpads_[route->home].latency(), false);
+            Cycles lat = scratchpads_[route->home].latency();
+            if (injector_ != nullptr)
+                lat += spFaultPenalty(core, *route, lat);
+            cm.issueMemory(lat, false);
             return;
         }
         if (svbs_[core].lookupAndFill(vertex, route->prop)) {
@@ -343,6 +446,63 @@ OmegaMachine::coreAtomic(const AtomicRequest &request)
     }
 }
 
+std::optional<Cycles>
+OmegaMachine::resolveOffloadFaults(const AtomicRequest &request,
+                                   const SpRoute &route, Cycles arrival)
+{
+    Pisc &pisc = piscs_[route.home];
+    if (!pisc.offerNack(request.vertex, arrival))
+        return arrival;
+
+    const FaultPlan &plan = injector_->plan();
+    if (!plan.retries_enabled) {
+        // Fire-and-forget with no retry: the update is LOST. Stamp the
+        // vertex's busy entry never-retiring so the forward-progress
+        // watchdog turns the silent corruption into a diagnosed failure.
+        controller_.markLost(request.vertex);
+        injector_->recordLostUpdate(route.home, request.vertex, arrival);
+        return std::nullopt;
+    }
+
+    // Bounded retry with exponential backoff; every resend repeats the
+    // offload packet.
+    const bool remote = route.home != request.core;
+    Cycles backoff = std::max<Cycles>(plan.retry_backoff, 1);
+    for (unsigned attempt = 0; attempt < plan.max_retries; ++attempt) {
+        arrival += backoff;
+        if (backoff <= kNeverRetire / 2)
+            backoff *= 2;
+        if (remote) {
+            hierarchy_.xbar().recordTransfer(request.operand_bytes + 4);
+            arrival += hierarchy_.xbar().oneWay();
+        }
+        injector_->recordRetry(FaultKind::PiscNack, route.home,
+                               request.vertex, arrival);
+        if (!pisc.offerNack(request.vertex, arrival))
+            return arrival;
+        if (watchdog_cycles_ != 0 &&
+            arrival - last_barrier_cycles_ > watchdog_cycles_) {
+            throw WatchdogError(watchdogReport(
+                "offload retry loop exceeded the watchdog budget",
+                arrival));
+        }
+    }
+
+    // Retry budget exhausted: the engine persistently refuses this
+    // vertex. Degrade it to the cache path (poison first — coreAtomic
+    // re-routes, so the line must already be off the scratchpad path)
+    // and execute the atomic on the core.
+    controller_.poisonLine(request.vertex);
+    injector_->recordLinePoisoned(route.home, request.vertex, arrival);
+    if (injector_->registerScratchpadFault(route.home)) {
+        controller_.demoteScratchpad(route.home);
+        injector_->recordDemotion(route.home, arrival);
+    }
+    injector_->recordDegradedAtomic(route.home, request.vertex, arrival);
+    coreAtomic(request);
+    return std::nullopt;
+}
+
 void
 OmegaMachine::atomicUpdate(const AtomicRequest &request)
 {
@@ -356,7 +516,6 @@ OmegaMachine::atomicUpdate(const AtomicRequest &request)
     }
 
     // Offload to the home PISC: fire-and-forget from the core.
-    ++atomics_offloaded_;
     CoreModel &core = cores_[request.core];
     core.busy(params_.pisc_send_cycles);
 
@@ -365,11 +524,29 @@ OmegaMachine::atomicUpdate(const AtomicRequest &request)
         // Offload packet: operand word + destination id, single flit.
         hierarchy_.xbar().recordTransfer(request.operand_bytes + 4);
         arrival += hierarchy_.xbar().oneWay();
+        arrival += hierarchy_.xbar().faultLatency(
+            arrival, hierarchy_.xbar().oneWay());
     }
 
+    if (injector_ != nullptr) {
+        const auto resolved = resolveOffloadFaults(request, *route,
+                                                   arrival);
+        if (!resolved)
+            return; // lost or degraded; bookkeeping done inside
+        arrival = *resolved;
+    }
+
+    ++atomics_offloaded_;
     Pisc &pisc = piscs_[route->home];
     const Cycles start = controller_.beginAtomic(
         request.vertex, arrival, pisc.programCycles());
+    if (injector_ != nullptr && start == kNeverRetire) {
+        // Queued behind a lost update that will never complete: this
+        // offload is stuck behind it (and the watchdog will report the
+        // vertex at the next barrier).
+        injector_->recordLostUpdate(route->home, request.vertex, arrival);
+        return;
+    }
     const Cycles completion = pisc.execute(start);
     if (trace_pid_ > 0) {
         // Dispatch-to-completion span on the home engine's track: the gap
@@ -418,8 +595,78 @@ OmegaMachine::barrier()
     // can never block a later request, so drop them. Keeps the table
     // bounded by in-flight atomics across long multi-iteration runs.
     controller_.retireCompleted(t);
+    if (watchdog_cycles_ != 0)
+        checkForwardProgress(t);
+    last_barrier_cycles_ = t;
     if (recorder_ != nullptr && recorder_->cadenceDue(global_cycles_))
         takeSample(SampleKind::Cadence);
+}
+
+void
+OmegaMachine::checkForwardProgress(Cycles now)
+{
+    // Everything has drained to `now`, so any surviving busy entry can
+    // only be a never-retiring lost update: the atomic it models will
+    // never complete, and every later same-vertex offload queues behind
+    // it forever.
+    const auto stuck = controller_.stuckVertices(now, 8);
+    if (!stuck.empty()) {
+        std::ostringstream os;
+        os << stuck.size() << (stuck.size() == 8 ? "+" : "")
+           << " busy-table entr" << (stuck.size() == 1 ? "y" : "ies")
+           << " will never retire (lost fire-and-forget update):";
+        for (const VertexId v : stuck)
+            os << " v" << v << "@sp" << controller_.homeOf(v);
+        throw WatchdogError(watchdogReport(os.str(), now));
+    }
+    if (now - last_barrier_cycles_ > watchdog_cycles_) {
+        std::ostringstream os;
+        os << "barrier phase took " << (now - last_barrier_cycles_)
+           << " cycles (budget " << watchdog_cycles_ << ")";
+        throw WatchdogError(watchdogReport(os.str(), now));
+    }
+}
+
+std::string
+OmegaMachine::watchdogReport(const std::string &reason, Cycles now) const
+{
+    std::ostringstream os;
+    os << "watchdog: " << reason << " [machine " << name() << ", cycle "
+       << now << "]\n"
+       << debugDump();
+    return os.str();
+}
+
+std::string
+OmegaMachine::debugDump() const
+{
+    std::ostringstream os;
+    os << name() << " state @ cycle " << global_cycles_
+       << " (iteration " << iteration_ << ", last barrier "
+       << last_barrier_cycles_ << ")\n";
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        os << "  core" << c << ": clock=" << cores_[c].now()
+           << " instructions=" << cores_[c].instructions() << "\n";
+    }
+    for (std::size_t c = 0; c < piscs_.size(); ++c) {
+        os << "  pisc" << c << ": ops=" << piscs_[c].ops()
+           << " busy_until=" << piscs_[c].busyUntil()
+           << " last_completion=" << piscs_[c].lastCompletion() << "\n";
+    }
+    os << "  busy-table: " << controller_.busyTableSize()
+       << " in-flight entries";
+    const auto stuck = controller_.stuckVertices(global_cycles_, 8);
+    if (!stuck.empty()) {
+        os << ", stuck:";
+        for (const VertexId v : stuck)
+            os << " v" << v << "@sp" << controller_.homeOf(v);
+    }
+    os << "\n  degradation: " << controller_.poisonedLines()
+       << " poisoned lines, " << controller_.demotedScratchpads()
+       << " demoted scratchpads\n";
+    if (injector_ != nullptr)
+        os << "  " << injector_->summary() << "\n";
+    return os.str();
 }
 
 void

@@ -21,6 +21,7 @@
 #define OMEGA_OMEGA_OMEGA_MACHINE_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "omega/source_vertex_buffer.hh"
 #include "sim/coherence.hh"
 #include "sim/core_model.hh"
+#include "sim/fault.hh"
 #include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
 #include "util/stats.hh"
@@ -82,6 +84,13 @@ class OmegaMachine : public MemorySystem
     void attachTracing() override;
     int tracePid() const override { return trace_pid_; }
 
+    void armFaults(const FaultPlan &plan) override;
+    const FaultInjector *faultInjector() const override
+    {
+        return injector_.get();
+    }
+    std::string debugDump() const override;
+
   private:
     void countVertexAccess(VertexId vertex);
     void buildStatTree();
@@ -95,6 +104,33 @@ class OmegaMachine : public MemorySystem
     /** Core-executed atomic through the caches (cold vertices). */
     void coreAtomic(const AtomicRequest &request);
 
+    /**
+     * Resolve injected delivery faults of one offload arriving at
+     * @p arrival: NACK retries with backoff, degradation after retry
+     * exhaustion (executed on the core), or a lost update (retries
+     * disabled). Returns the resolved arrival time, or nullopt when the
+     * offload will not execute on the PISC (all bookkeeping done).
+     */
+    std::optional<Cycles> resolveOffloadFaults(const AtomicRequest &request,
+                                               const SpRoute &route,
+                                               Cycles arrival);
+    /**
+     * ECC fault handling of one scratchpad read of @p route costing
+     * @p base_latency: retry reads, then poison + memory re-fetch once
+     * the line's persistent threshold is crossed. Returns the extra
+     * latency (0 when no error fires). Only called with an armed
+     * injector.
+     */
+    Cycles spFaultPenalty(unsigned core, const SpRoute &route,
+                          Cycles base_latency);
+    /** Recompute the effective watchdog budget (config overrides plan). */
+    void refreshWatchdog();
+    /** Barrier-time watchdog: stuck busy entries and the phase budget. */
+    void checkForwardProgress(Cycles now);
+    /** Compose a WatchdogError message: reason + state dump. */
+    std::string watchdogReport(const std::string &reason,
+                               Cycles now) const;
+
     MachineParams params_;
     MachineConfig config_;
     CacheHierarchy hierarchy_;
@@ -106,6 +142,15 @@ class OmegaMachine : public MemorySystem
     Cycles global_cycles_ = 0;
     std::uint64_t iteration_ = 0;
     int trace_pid_ = 0;
+
+    /** Armed fault campaign (null on the fault-free fast path). */
+    std::unique_ptr<FaultInjector> injector_;
+    /** Lazily attached "faults" stat group — only armed runs report it,
+     *  keeping the unarmed stat tree (and the golden digest) unchanged. */
+    std::unique_ptr<StatGroup> fault_group_;
+    /** Effective forward-progress budget; 0 disables the watchdog. */
+    Cycles watchdog_cycles_ = 0;
+    Cycles last_barrier_cycles_ = 0;
 
     std::uint64_t atomics_total_ = 0;
     std::uint64_t atomics_offloaded_ = 0;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
 #include "util/check.hh"
 #include "util/stats.hh"
 
@@ -42,6 +43,12 @@ Pisc::execute(Cycles start)
     omega_check(last_completion_ >= busy_until_,
                 "PISC op completes before its initiation interval ends");
     return last_completion_;
+}
+
+bool
+Pisc::offerNackSlow(VertexId vertex, Cycles now)
+{
+    return fault_inj_->piscNack(fault_id_, vertex, now);
 }
 
 void

@@ -18,10 +18,12 @@
 
 #include <cstdint>
 
+#include "graph/types.hh"
 #include "sim/params.hh"
 
 namespace omega {
 
+class FaultInjector;
 class StatGroup;
 
 /** ALU operation classes supported by a PISC (paper Fig 9 / Table II). */
@@ -78,9 +80,30 @@ class Pisc
     /** Register engine counters in @p group. */
     void addStats(StatGroup &group) const;
 
+    /** Arm (or disarm with nullptr) NACK injection on this engine. */
+    void setFaultInjector(FaultInjector *injector, unsigned engine_id)
+    {
+        fault_inj_ = injector;
+        fault_id_ = engine_id;
+    }
+
+    /**
+     * Does delivery of an offload for @p vertex arriving at @p now NACK?
+     * Always false when no injector is armed.
+     */
+    bool
+    offerNack(VertexId vertex, Cycles now)
+    {
+        if (fault_inj_ == nullptr)
+            return false;
+        return offerNackSlow(vertex, now);
+    }
+
     void reset();
 
   private:
+    bool offerNackSlow(VertexId vertex, Cycles now);
+
     std::uint16_t program_id_ = 0;
     Cycles program_cycles_ = 4;
     Cycles initiation_ = 4;
@@ -89,6 +112,8 @@ class Pisc
     std::uint64_t ops_ = 0;
     std::uint64_t busy_cycles_ = 0;
     std::uint64_t queue_cycles_ = 0;
+    FaultInjector *fault_inj_ = nullptr;
+    unsigned fault_id_ = 0;
 };
 
 } // namespace omega

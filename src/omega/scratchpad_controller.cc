@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/fault.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -109,6 +110,15 @@ ScratchpadController::configure(std::vector<PropSpec> props,
     busy_live_.clear();
     max_busy_ = 0;
     conflicts_ = 0;
+
+    // Fault degradation is per run: a fresh configuration starts with
+    // every line and scratchpad on the fast path again (the injector's
+    // persistent-fault counters live across runs in the campaign).
+    any_demotion_ = false;
+    poisoned_.clear();
+    demoted_.assign(num_scratchpads_, 0);
+    poisoned_count_ = 0;
+    demoted_count_ = 0;
 }
 
 std::optional<SpRoute>
@@ -148,7 +158,11 @@ ScratchpadController::beginAtomic(VertexId vertex, Cycles arrival,
         busy_stamp_[vertex] = busy_epoch_;
         busy_live_.push_back(vertex);
     }
-    const Cycles until = start + duration;
+    // Saturate: a kNeverRetire start (lost update already marked on the
+    // vertex) must not wrap back into a small retireable value.
+    const Cycles until = duration > kNeverRetire - start
+                             ? kNeverRetire
+                             : start + duration;
     busy_until_[vertex] = until;
     max_busy_ = std::max(max_busy_, until);
     return start;
@@ -195,6 +209,63 @@ ScratchpadController::bumpBusyEpoch()
 }
 
 void
+ScratchpadController::poisonLine(VertexId vertex)
+{
+    if (poisoned_.size() <= vertex)
+        poisoned_.resize(static_cast<std::size_t>(vertex) + 1, 0);
+    if (poisoned_[vertex] == 0) {
+        poisoned_[vertex] = 1;
+        ++poisoned_count_;
+        any_demotion_ = true;
+        // Every core's memo may point at a range containing the vertex;
+        // memos cache ranges, not vertices, so they stay valid — resolve()
+        // re-checks the poison flag on every hit.
+    }
+}
+
+void
+ScratchpadController::demoteScratchpad(unsigned sp)
+{
+    if (demoted_.size() <= sp)
+        demoted_.resize(sp + 1, 0);
+    if (demoted_[sp] == 0) {
+        demoted_[sp] = 1;
+        ++demoted_count_;
+        any_demotion_ = true;
+    }
+}
+
+void
+ScratchpadController::markLost(VertexId vertex)
+{
+    if (vertex >= busy_until_.size()) {
+        busy_until_.resize(vertex + 1);
+        busy_stamp_.resize(vertex + 1, 0);
+    }
+    if (busy_stamp_[vertex] != busy_epoch_) {
+        busy_stamp_[vertex] = busy_epoch_;
+        busy_live_.push_back(vertex);
+    }
+    busy_until_[vertex] = kNeverRetire;
+    max_busy_ = kNeverRetire;
+}
+
+std::vector<VertexId>
+ScratchpadController::stuckVertices(Cycles now,
+                                    std::size_t max_report) const
+{
+    std::vector<VertexId> out;
+    for (const VertexId v : busy_live_) {
+        if (busy_stamp_[v] == busy_epoch_ && busy_until_[v] > now) {
+            out.push_back(v);
+            if (out.size() >= max_report)
+                break;
+        }
+    }
+    return out;
+}
+
+void
 ScratchpadController::addStats(StatGroup &group) const
 {
     group.addScalar("conflicts", &conflicts_,
@@ -208,6 +279,11 @@ ScratchpadController::reset()
     busy_live_.clear();
     max_busy_ = 0;
     conflicts_ = 0;
+    any_demotion_ = false;
+    poisoned_.clear();
+    demoted_.assign(demoted_.size(), 0);
+    poisoned_count_ = 0;
+    demoted_count_ = 0;
 }
 
 } // namespace omega

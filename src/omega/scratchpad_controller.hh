@@ -163,6 +163,42 @@ class ScratchpadController
     void reset();
     /** @} */
 
+    /** @name Fault degradation and lost-update tracking. @{ */
+    /**
+     * Permanently route @p vertex's line back to the cache path
+     * (persistent ECC faults). route() stops matching the vertex.
+     */
+    void poisonLine(VertexId vertex);
+    /**
+     * Demote a whole scratchpad: every vertex homed on @p sp falls back
+     * to the cache path for the rest of the run.
+     */
+    void demoteScratchpad(unsigned sp);
+    /**
+     * Stamp @p vertex's busy entry as never retiring: a fire-and-forget
+     * update was dropped with retries disabled, so the entry survives
+     * every retireCompleted() and the watchdog reports it instead of the
+     * corruption going unnoticed.
+     */
+    void markLost(VertexId vertex);
+
+    bool
+    lineIsPoisoned(VertexId vertex) const
+    {
+        return vertex < poisoned_.size() && poisoned_[vertex] != 0;
+    }
+    bool
+    scratchpadDemoted(unsigned sp) const
+    {
+        return sp < demoted_.size() && demoted_[sp] != 0;
+    }
+    std::uint64_t poisonedLines() const { return poisoned_count_; }
+    unsigned demotedScratchpads() const { return demoted_count_; }
+    /** Busy vertices that will never retire by @p now (watchdog dump). */
+    std::vector<VertexId> stuckVertices(Cycles now,
+                                        std::size_t max_report) const;
+    /** @} */
+
   private:
     /** One monitored range, sorted by start for the interval table. */
     struct MonitorRange
@@ -204,6 +240,12 @@ class ScratchpadController
         out.prop = r.prop;
         out.home = homeOf(out.vertex);
         out.line = lineOf(out.vertex);
+        // Fault degradation: poisoned lines and demoted scratchpads fall
+        // back to the cache path. The guard bool keeps the fault-free hot
+        // path at a single predictable branch.
+        if (any_demotion_ &&
+            (scratchpadDemoted(out.home) || lineIsPoisoned(out.vertex)))
+            return std::nullopt;
         return out;
     }
 
@@ -237,6 +279,15 @@ class ScratchpadController
     /** Latest completion among live entries (barrier fast path). */
     Cycles max_busy_ = 0;
     std::uint64_t conflicts_ = 0;
+
+    /** Any line poisoned or scratchpad demoted (guards resolve()). */
+    bool any_demotion_ = false;
+    /** Per-vertex poison flags (lazily sized). */
+    std::vector<std::uint8_t> poisoned_;
+    /** Per-scratchpad demotion flags. */
+    std::vector<std::uint8_t> demoted_;
+    std::uint64_t poisoned_count_ = 0;
+    unsigned demoted_count_ = 0;
 };
 
 } // namespace omega

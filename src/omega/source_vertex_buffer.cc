@@ -61,6 +61,17 @@ SourceVertexBuffer::invalidateAll()
 }
 
 void
+SourceVertexBuffer::invalidate(VertexId vertex, std::uint32_t prop)
+{
+    for (auto &slot : slots_) {
+        if (slot.valid && slot.vertex == vertex && slot.prop == prop) {
+            slot.valid = false;
+            return;
+        }
+    }
+}
+
+void
 SourceVertexBuffer::addStats(StatGroup &group) const
 {
     group.addScalar("hits", &hits_, "SVB hits");

@@ -44,6 +44,9 @@ class SourceVertexBuffer
     /** End-of-iteration invalidation. */
     void invalidateAll();
 
+    /** Drop one (vertex, prop) entry (ECC recovery re-fetch). */
+    void invalidate(VertexId vertex, std::uint32_t prop);
+
     unsigned capacity() const
     {
         return static_cast<unsigned>(slots_.size());

@@ -6,6 +6,7 @@
 #include "sim/baseline_machine.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/logging.hh"
 #include "util/trace.hh"
@@ -88,6 +89,53 @@ void
 BaselineMachine::configure(const MachineConfig &config)
 {
     config_ = config;
+    last_barrier_cycles_ = global_cycles_;
+    refreshWatchdog();
+}
+
+void
+BaselineMachine::armFaults(const FaultPlan &plan)
+{
+    if (injector_ == nullptr) {
+        injector_ = std::make_unique<FaultInjector>(plan);
+        // Lazy stat registration: the "faults" group only exists on armed
+        // runs, so the unarmed stat tree stays byte-identical.
+        fault_group_ = std::make_unique<StatGroup>("faults");
+        injector_->addStats(*fault_group_);
+        stats_root_.addChild(fault_group_.get());
+    } else {
+        // Re-arm in place: the stat group holds pointers into the
+        // injector's counters, so the object's address must not change.
+        *injector_ = FaultInjector(plan);
+    }
+    hierarchy_.dram().setFaultInjector(injector_.get());
+    refreshWatchdog();
+}
+
+void
+BaselineMachine::refreshWatchdog()
+{
+    watchdog_cycles_ = config_.watchdog_cycles != 0
+                           ? config_.watchdog_cycles
+                           : (injector_ != nullptr
+                                  ? injector_->plan().watchdog_cycles
+                                  : 0);
+}
+
+std::string
+BaselineMachine::debugDump() const
+{
+    std::ostringstream os;
+    os << name() << " state @ cycle " << global_cycles_
+       << " (iteration " << iteration_ << ", last barrier "
+       << last_barrier_cycles_ << ")\n";
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+        os << "  core" << c << ": clock=" << cores_[c].now()
+           << " instructions=" << cores_[c].instructions() << "\n";
+    }
+    if (injector_ != nullptr)
+        os << "  " << injector_->summary() << "\n";
+    return os.str();
 }
 
 void
@@ -206,6 +254,16 @@ BaselineMachine::barrier()
     for (auto &core : cores_)
         core.syncTo(t);
     global_cycles_ = t;
+    if (watchdog_cycles_ != 0 &&
+        t - last_barrier_cycles_ > watchdog_cycles_) {
+        std::ostringstream os;
+        os << "watchdog: barrier phase took " << (t - last_barrier_cycles_)
+           << " cycles (budget " << watchdog_cycles_ << ") [machine "
+           << name() << ", cycle " << t << "]\n"
+           << debugDump();
+        throw WatchdogError(os.str());
+    }
+    last_barrier_cycles_ = t;
     if (recorder_ != nullptr && recorder_->cadenceDue(global_cycles_))
         takeSample(SampleKind::Cadence);
 }

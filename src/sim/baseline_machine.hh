@@ -11,6 +11,7 @@
 
 #include "sim/coherence.hh"
 #include "sim/core_model.hh"
+#include "sim/fault.hh"
 #include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
 #include "util/stats.hh"
@@ -52,11 +53,19 @@ class BaselineMachine : public MemorySystem
     void attachTracing() override;
     int tracePid() const override { return trace_pid_; }
 
+    void armFaults(const FaultPlan &plan) override;
+    const FaultInjector *faultInjector() const override
+    {
+        return injector_.get();
+    }
+    std::string debugDump() const override;
+
   private:
     void countVertexAccess(VertexId vertex);
     void buildStatTree();
     std::vector<CoreIntervalStats> coreIntervals() const;
     void takeSample(SampleKind kind);
+    void refreshWatchdog();
 
     MachineParams params_;
     MachineConfig config_;
@@ -65,6 +74,16 @@ class BaselineMachine : public MemorySystem
     Cycles global_cycles_ = 0;
     std::uint64_t iteration_ = 0;
     int trace_pid_ = 0;
+
+    /** Armed fault campaign (null on the fault-free fast path). All
+     *  graph data flows through the caches here, so the baseline only
+     *  models DRAM channel stalls — there is no scratchpad/PISC/packet
+     *  surface to fault, and the coherence hot path stays untouched. */
+    std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<StatGroup> fault_group_;
+    /** Effective forward-progress budget; 0 disables the watchdog. */
+    Cycles watchdog_cycles_ = 0;
+    Cycles last_barrier_cycles_ = 0;
 
     std::uint64_t atomics_total_ = 0;
     std::uint64_t vtxprop_accesses_ = 0;

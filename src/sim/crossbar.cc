@@ -5,6 +5,7 @@
 
 #include "sim/crossbar.hh"
 
+#include "sim/fault.hh"
 #include "util/stats.hh"
 
 namespace omega {
@@ -14,6 +15,12 @@ Crossbar::Crossbar(const MachineParams &params)
       flit_bytes_(params.xbar_flit_bytes),
       header_bytes_(params.xbar_header_bytes)
 {
+}
+
+Cycles
+Crossbar::faultLatencySlow(Cycles now, Cycles retransmit_cycles)
+{
+    return fault_inj_->xbarPacketFaults(now, retransmit_cycles);
 }
 
 void

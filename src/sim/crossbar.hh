@@ -19,6 +19,7 @@
 
 namespace omega {
 
+class FaultInjector;
 class StatGroup;
 
 /** Flit/byte accounting plus fixed latency helpers for the crossbar. */
@@ -31,6 +32,25 @@ class Crossbar
     Cycles oneWay() const { return one_way_; }
     /** Request/response round trip. */
     Cycles roundTrip() const { return 2 * one_way_ + 1; }
+
+    /** Arm (or disarm with nullptr) packet drop/delay fault injection. */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        fault_inj_ = injector;
+    }
+
+    /**
+     * Extra latency injected on one packet sent at @p now: drops cost a
+     * retransmission over @p retransmit_cycles each, delays cost the
+     * plan's delay budget. Always 0 when no injector is armed.
+     */
+    Cycles
+    faultLatency(Cycles now, Cycles retransmit_cycles)
+    {
+        if (fault_inj_ == nullptr)
+            return 0;
+        return faultLatencySlow(now, retransmit_cycles);
+    }
 
     /** Record a data packet carrying @p payload_bytes. */
     void
@@ -60,9 +80,12 @@ class Crossbar
     void reset();
 
   private:
+    Cycles faultLatencySlow(Cycles now, Cycles retransmit_cycles);
+
     Cycles one_way_;
     std::uint32_t flit_bytes_;
     std::uint32_t header_bytes_;
+    FaultInjector *fault_inj_ = nullptr;
     std::uint64_t bytes_ = 0;
     std::uint64_t flits_ = 0;
     std::uint64_t packets_ = 0;

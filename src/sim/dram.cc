@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "sim/fault.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
 
@@ -48,7 +49,11 @@ Dram::channelOf(std::uint64_t addr) const
 Cycles
 Dram::occupy(Cycles now, unsigned channel, std::uint32_t bytes)
 {
-    const Cycles start = std::max(now, channel_free_[channel]);
+    Cycles start = std::max(now, channel_free_[channel]);
+    // An injected stall (refresh/thermal event) pushes the start time, so
+    // the queueing accounting below sees it as channel pressure.
+    if (fault_inj_ != nullptr)
+        start += fault_inj_->dramStall(channel, start);
     const Cycles occupancy =
         bytes == line_bytes_
             ? line_occupancy_

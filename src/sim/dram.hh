@@ -21,6 +21,8 @@
 
 namespace omega {
 
+class FaultInjector;
+
 /** Channel-queued DRAM timing and traffic accounting. */
 class Dram
 {
@@ -64,6 +66,12 @@ class Dram
     /** Identify this DRAM for event tracing (machine pid). */
     void setTracePid(int pid) { trace_pid_ = pid; }
 
+    /** Arm (or disarm with nullptr) channel-stall fault injection. */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        fault_inj_ = injector;
+    }
+
     /** Register traffic counters and the queue histogram in @p group. */
     void addStats(StatGroup &group) const;
 
@@ -87,6 +95,7 @@ class Dram
     Cycles line_occupancy_ = 1;
     Cycles line_transfer_ = 0;
     int trace_pid_ = 0;
+    FaultInjector *fault_inj_ = nullptr;
     std::vector<Cycles> channel_free_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;

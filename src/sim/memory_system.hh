@@ -24,6 +24,8 @@
 
 namespace omega {
 
+class FaultInjector;
+struct FaultPlan;
 class IntervalRecorder;
 class StatGroup;
 
@@ -63,6 +65,9 @@ struct MachineConfig
     Cycles microcode_initiation = 2;
     /** Vertices with id < hot_boundary count as "hot" in the stats. */
     VertexId hot_boundary = 0;
+    /** Forward-progress budget per barrier phase; 0 disables the
+     *  watchdog (wired from EngineOptions::watchdog_cycles). */
+    Cycles watchdog_cycles = 0;
 };
 
 /** Abstract machine. All methods are single-threaded. */
@@ -157,6 +162,24 @@ class MemorySystem
 
     /** Trace process id of this machine (0 when tracing is detached). */
     virtual int tracePid() const { return 0; }
+    /** @} */
+
+    /** @name Fault injection @{ */
+    /**
+     * Arm a deterministic fault campaign. Default: no faults supported
+     * (the plan is ignored). Machines that support injection construct
+     * their FaultInjector here; arming resets any previous campaign.
+     */
+    virtual void armFaults(const FaultPlan &plan) { (void)plan; }
+
+    /** The armed injector, or nullptr when no campaign is armed. */
+    virtual const FaultInjector *faultInjector() const { return nullptr; }
+
+    /**
+     * Human-readable machine state (per-core clocks, busy-table summary,
+     * campaign counters) — the body of watchdog diagnostics.
+     */
+    virtual std::string debugDump() const { return name() + ": no dump"; }
     /** @} */
 
   protected:

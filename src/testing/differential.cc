@@ -150,12 +150,21 @@ runDifferentialCase(const FuzzSpec &spec, AlgorithmKind algorithm,
         }
 
         auto mach = makeMachine(variant, opts.capacity_scale);
-        const AlgoCapture got = captureAlgorithm(
-            algorithm, g, mach.get(), EngineOptions{}, spec.seed);
-        ++result.runs;
-
+        if (opts.fault_plan.has_value())
+            mach->armFaults(*opts.fault_plan);
         const std::string tag =
             std::string(machineVariantName(variant)) + ": ";
+        AlgoCapture got;
+        try {
+            got = captureAlgorithm(algorithm, g, mach.get(),
+                                   EngineOptions{}, spec.seed);
+        } catch (const WatchdogError &e) {
+            ++result.runs;
+            result.failures.push_back(tag + "watchdog tripped: " +
+                                      e.what());
+            continue;
+        }
+        ++result.runs;
         for (std::string &f : compareCaptures(*expected, got, opts.max_ulps))
             result.failures.push_back(tag + "result diverges, " + f);
 

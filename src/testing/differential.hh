@@ -25,10 +25,12 @@
 #define OMEGA_TESTING_DIFFERENTIAL_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "algorithms/algorithms.hh"
+#include "sim/fault.hh"
 #include "sim/memory_system.hh"
 #include "testing/capture.hh"
 #include "testing/fuzz.hh"
@@ -73,6 +75,14 @@ struct DiffOptions
      * any job count.
      */
     unsigned jobs = 0;
+    /**
+     * Optional fault campaign armed on every machine variant before the
+     * run. The oracle's contract extends to faulty machines: with
+     * recovery (retries, poisoning, demotion) the computed answers must
+     * STILL match the functional reference — faults may only perturb
+     * timing.
+     */
+    std::optional<FaultPlan> fault_plan;
 };
 
 /** Resolve a DiffOptions::jobs value (0 = env/hardware default). */

@@ -123,6 +123,121 @@ TEST_F(IoFiles, EmptyFileYieldsEmptyGraph)
     EXPECT_EQ(g.numArcs(), 0u);
 }
 
+TEST_F(IoFiles, RoundTripPreservesIsolatedTrailingVertices)
+{
+    // The "# vertices N" header pins the count, so trailing vertices
+    // with no edges survive a disk round trip.
+    EdgeList edges;
+    edges.push_back({0, 1, 1});
+    Graph g = buildGraph(10, std::move(edges));
+    saveGraphFile(path("iso.el"), g);
+    Graph back = loadGraphFile(path("iso.el"));
+    EXPECT_EQ(back.numVertices(), 10u);
+    EXPECT_EQ(back.numArcs(), 1u);
+}
+
+TEST_F(IoFiles, RejectsNegativeVertexIds)
+{
+    {
+        std::ofstream os(path("neg.el"));
+        os << "0 1\n-3 2\n";
+    }
+    EXPECT_DEATH((void)loadGraphFile(path("neg.el")),
+                 "invalid source vertex");
+}
+
+TEST_F(IoFiles, RejectsNonNumericTokens)
+{
+    {
+        std::ofstream os(path("garbage.el"));
+        os << "0 1\n2 banana\n";
+    }
+    EXPECT_DEATH((void)loadGraphFile(path("garbage.el")),
+                 "invalid destination vertex");
+}
+
+TEST_F(IoFiles, RejectsTruncatedEdgeLine)
+{
+    {
+        std::ofstream os(path("trunc.el"));
+        os << "0 1\n7\n";
+    }
+    EXPECT_DEATH((void)loadGraphFile(path("trunc.el")),
+                 "malformed edge list line 2");
+}
+
+TEST_F(IoFiles, RejectsOverflowingVertexIds)
+{
+    {
+        std::ofstream os(path("huge.el"));
+        // 2^64 overflows, and VertexId::max() itself is rejected because
+        // numVertices = max_vertex + 1 would wrap to zero.
+        os << "18446744073709551616 1\n";
+    }
+    EXPECT_DEATH((void)loadGraphFile(path("huge.el")),
+                 "invalid source vertex");
+    {
+        std::ofstream os(path("wrap.el"));
+        os << "0 4294967295\n";
+    }
+    EXPECT_DEATH((void)loadGraphFile(path("wrap.el")),
+                 "invalid destination vertex");
+}
+
+TEST_F(IoFiles, RejectsOutOfRangeWeights)
+{
+    {
+        std::ofstream os(path("weight.el"));
+        os << "0 1 9999999999999\n";
+    }
+    EXPECT_DEATH((void)loadGraphFile(path("weight.el")),
+                 "invalid weight");
+}
+
+TEST_F(IoFiles, RejectsTrailingGarbage)
+{
+    {
+        std::ofstream os(path("extra.el"));
+        os << "0 1 2 3\n";
+    }
+    EXPECT_DEATH((void)loadGraphFile(path("extra.el")),
+                 "trailing token");
+}
+
+TEST_F(IoFiles, RejectsEdgeOutsideDeclaredRange)
+{
+    {
+        std::ofstream os(path("oob.el"));
+        os << "# vertices 4 arcs 2 directed\n"
+           << "0 1\n"
+           << "2 9\n";
+    }
+    EXPECT_DEATH((void)loadGraphFile(path("oob.el")),
+                 "declares 4 vertices");
+}
+
+TEST_F(IoFiles, RejectsCorruptVertexHeader)
+{
+    {
+        std::ofstream os(path("badhdr.el"));
+        os << "# vertices -12 arcs 1 directed\n"
+           << "0 1\n";
+    }
+    EXPECT_DEATH((void)loadGraphFile(path("badhdr.el")),
+                 "invalid vertex count");
+}
+
+TEST_F(IoFiles, NegativeWeightsAreValid)
+{
+    {
+        std::ofstream os(path("negw.el"));
+        os << "0 1 -5\n";
+    }
+    Graph g = loadGraphFile(path("negw.el"));
+    ASSERT_EQ(g.numArcs(), 1u);
+    EXPECT_EQ(g.outWeights(0)[0], -5);
+}
+
 TEST_F(IoFiles, LargeRoundTripPreservesDegreeDistribution)
 {
     Rng rng(9);

@@ -117,13 +117,13 @@ TEST(BenchSession, HarnessFlagsAreStrippedFromRecordedArgs)
 {
     // --json/--trace/--interval/--jobs (and operands) must not leak into
     // the document's args array, or outputs would differ by job count
-    // and output path.
+    // and output path. Positional bench args survive.
     const std::string path_a = ::testing::TempDir() + "args_a.json";
     const std::string path_b = ::testing::TempDir() + "args_b.json";
     auto doc = [](const std::string &path, unsigned jobs) {
         std::string jobs_str = std::to_string(jobs);
         std::vector<std::string> arg_strings = {
-            "bench", "--json", path, "--jobs", jobs_str, "--custom", "7"};
+            "bench", "--json", path, "--jobs", jobs_str, "custom7"};
         std::vector<char *> argv;
         for (std::string &s : arg_strings)
             argv.push_back(s.data());
@@ -135,7 +135,7 @@ TEST(BenchSession, HarnessFlagsAreStrippedFromRecordedArgs)
     doc(path_b, 8);
     const std::string a = slurp(path_a);
     EXPECT_EQ(a, slurp(path_b));
-    EXPECT_NE(a.find("--custom"), std::string::npos);
+    EXPECT_NE(a.find("custom7"), std::string::npos);
     EXPECT_EQ(a.find("--jobs"), std::string::npos);
     EXPECT_EQ(a.find(path_a), std::string::npos);
 }

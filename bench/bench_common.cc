@@ -19,8 +19,7 @@
 #include <sstream>
 
 #include "graph/reorder.hh"
-#include "omega/omega_machine.hh"
-#include "sim/baseline_machine.hh"
+#include "sim/machine_registry.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -29,15 +28,40 @@
 
 namespace omega::bench {
 
+namespace {
+
+/** Registry entry backing a MachineKind (the only mapping point). */
+const MachineRegistryEntry &
+registryEntryFor(MachineKind kind)
+{
+    switch (kind) {
+      case MachineKind::Baseline: return machineEntry("baseline");
+      case MachineKind::Grasp: return machineEntry("grasp");
+      case MachineKind::Omega: return machineEntry("omega");
+      case MachineKind::OmegaSpOnly: return machineEntry("omega-sp-only");
+    }
+    panic("unknown machine kind");
+}
+
+} // namespace
+
 std::string
 machineKindName(MachineKind kind)
 {
-    switch (kind) {
-      case MachineKind::Baseline: return "baseline";
-      case MachineKind::Omega: return "omega";
-      case MachineKind::OmegaSpOnly: return "omega-sp-only";
-    }
-    return "?";
+    return registryEntryFor(kind).name;
+}
+
+std::vector<MachineKind>
+allMachineKinds()
+{
+    return {MachineKind::Baseline, MachineKind::Grasp, MachineKind::Omega,
+            MachineKind::OmegaSpOnly};
+}
+
+std::vector<MachineKind>
+paperMachineKinds()
+{
+    return {MachineKind::Baseline, MachineKind::Omega};
 }
 
 const Graph &
@@ -62,19 +86,8 @@ datasetGraph(const DatasetSpec &spec)
 MachineParams
 machineFor(MachineKind kind, const DatasetSpec &spec)
 {
-    MachineParams p;
-    switch (kind) {
-      case MachineKind::Baseline:
-        p = MachineParams::baseline();
-        break;
-      case MachineKind::Omega:
-        p = MachineParams::omega();
-        break;
-      case MachineKind::OmegaSpOnly:
-        p = MachineParams::omegaScratchpadOnly();
-        break;
-    }
-    return p.scaledCapacities(spec.capacity_scale);
+    return registryEntryFor(kind).make_params().scaledCapacities(
+        spec.capacity_scale);
 }
 
 namespace {
@@ -195,11 +208,7 @@ executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
 
     CompletedRun run;
     run.outcome.params = params;
-    std::unique_ptr<MemorySystem> m;
-    if (kind == MachineKind::Baseline)
-        m = std::make_unique<BaselineMachine>(params);
-    else
-        m = std::make_unique<OmegaMachine>(params);
+    std::unique_ptr<MemorySystem> m = registryEntryFor(kind).make(params);
     if (faults != nullptr)
         m->armFaults(*faults);
 

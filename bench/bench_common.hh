@@ -32,11 +32,23 @@ class TraceSink;
 
 namespace omega::bench {
 
-/** Machine flavors the benches compare. */
-enum class MachineKind { Baseline, Omega, OmegaSpOnly };
+/**
+ * Machine flavors the benches compare. Each maps 1:1 onto a machine
+ * registry entry (sim/machine_registry.hh); names, parameters and
+ * construction all route through the registry, never through literals.
+ */
+enum class MachineKind { Baseline, Grasp, Omega, OmegaSpOnly };
 
-/** Name for table headers. */
+/** Canonical registry name (table headers, --json "machine" fields). */
 std::string machineKindName(MachineKind kind);
+
+/** Every registered machine, in canonical sweep order. */
+std::vector<MachineKind> allMachineKinds();
+
+/** The paper's headline comparison pair: {Baseline, Omega}. Benches
+ *  reproducing a paper figure iterate this instead of hard-coding the
+ *  pair, so the figure set and the design-space sweeps stay in sync. */
+std::vector<MachineKind> paperMachineKinds();
 
 /** One simulated run's outcome. */
 struct RunOutcome

@@ -35,8 +35,8 @@ main(int argc, char **argv)
     SweepRunner sweep;
     for (AlgorithmKind algo : algos) {
         for (const auto &spec : datasetsFor(algo, simulationDatasets())) {
-            sweep.add(spec, algo, MachineKind::Baseline);
-            sweep.add(spec, algo, MachineKind::Omega);
+            for (MachineKind kind : paperMachineKinds())
+                sweep.add(spec, algo, kind);
         }
     }
     sweep.run();

@@ -133,8 +133,7 @@ main(int argc, char **argv)
         AlgorithmKind::BC,       AlgorithmKind::Radii,
         AlgorithmKind::CC,       AlgorithmKind::TC,
         AlgorithmKind::KC};
-    const std::vector<MachineKind> machines{MachineKind::Baseline,
-                                            MachineKind::Omega};
+    const std::vector<MachineKind> machines = paperMachineKinds();
 
     // Build (and cache) every graph up front: dataset construction and
     // reordering are one-time costs, not simulation throughput.

@@ -14,7 +14,14 @@
 namespace omega {
 
 BaselineMachine::BaselineMachine(const MachineParams &params)
-    : params_(params), hierarchy_(params)
+    : BaselineMachine(params, "baseline")
+{
+}
+
+BaselineMachine::BaselineMachine(const MachineParams &params,
+                                 std::string name)
+    : params_(params), hierarchy_(params), name_(std::move(name)),
+      stats_root_(name_)
 {
     cores_.reserve(params.num_cores);
     for (unsigned c = 0; c < params.num_cores; ++c)

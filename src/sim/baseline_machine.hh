@@ -46,7 +46,7 @@ class BaselineMachine : public MemorySystem
     Cycles cycles() const override;
     StatsReport report() const override;
     const MachineParams &params() const override { return params_; }
-    std::string name() const override { return "baseline"; }
+    std::string name() const override { return name_; }
 
     void recordFinalSample() override;
     const StatGroup *statTree() const override { return &stats_root_; }
@@ -60,16 +60,29 @@ class BaselineMachine : public MemorySystem
     }
     std::string debugDump() const override;
 
+  protected:
+    /**
+     * Derived-machine constructor (GRASP): same hardware, a different
+     * registry name — used verbatim as the stat-tree root and trace pid
+     * label, so per-machine artifacts stay distinguishable in a sweep.
+     */
+    BaselineMachine(const MachineParams &params, std::string name);
+
+    MachineParams params_;
+    MachineConfig config_;
+    CacheHierarchy hierarchy_;
+    /** Registry name; declared before stats_root_, which labels itself
+     *  with it. */
+    std::string name_;
+    /** Stat tree: root -> {machine counters, cache.*, coreN.*}. */
+    StatGroup stats_root_;
+
   private:
     void countVertexAccess(VertexId vertex);
     void buildStatTree();
     std::vector<CoreIntervalStats> coreIntervals() const;
     void takeSample(SampleKind kind);
     void refreshWatchdog();
-
-    MachineParams params_;
-    MachineConfig config_;
-    CacheHierarchy hierarchy_;
     std::vector<CoreModel> cores_;
     Cycles global_cycles_ = 0;
     std::uint64_t iteration_ = 0;
@@ -91,8 +104,6 @@ class BaselineMachine : public MemorySystem
     /** Sparse active-list appends per core (address generation). */
     std::vector<std::uint64_t> sparse_append_count_;
 
-    /** Stat tree: root -> {machine counters, cache.*, coreN.*}. */
-    StatGroup stats_root_{"baseline"};
     StatGroup cache_group_{"cache"};
     std::vector<std::unique_ptr<StatGroup>> core_groups_;
 };

@@ -79,7 +79,15 @@ CacheArray::missFill(std::uint64_t base, std::uint64_t tag,
     victim->tag = tag;
     victim->state = LineState::Invalid; // caller decides the final state
     tags_[base + vw] = tag;
-    lru_[base + vw] = ++lru_clock_;
+    // Insertion priority: MRU (the baseline's unconditional bump) or, if
+    // an installed policy predicts distant reuse, stamp 0 — the line is
+    // the set's next victim unless a promoting hit rescues it. The clock
+    // only advances on MRU insertions, so the null-policy sequence of
+    // stamps is untouched.
+    if (policy_ == nullptr || policy_->insertAtMru(addr))
+        lru_[base + vw] = ++lru_clock_;
+    else
+        lru_[base + vw] = 0;
     res.line = victim;
     return res;
 }

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/cache_policy.hh"
 #include "sim/params.hh"
 #include "util/check.hh"
 
@@ -112,7 +113,8 @@ class CacheArray
         const unsigned w = findWay(base, tag);
         if (w == ways_)
             return nullptr;
-        lru_[base + w] = ++lru_clock_;
+        if (policy_ == nullptr || policy_->promoteOnHit(addr))
+            lru_[base + w] = ++lru_clock_;
         return &lines_[base + w];
     }
 
@@ -144,7 +146,8 @@ class CacheArray
 
         const unsigned w = findWay(base, tag);
         if (w != ways_) {
-            lru_[base + w] = ++lru_clock_;
+            if (policy_ == nullptr || policy_->promoteOnHit(addr))
+                lru_[base + w] = ++lru_clock_;
             CacheAccessResult res;
             res.hit = true;
             res.line = &lines_[base + w];
@@ -175,6 +178,16 @@ class CacheArray
 
     /** Drop a line if present (back-invalidation). */
     void invalidate(std::uint64_t addr);
+
+    /**
+     * Install (or with nullptr remove) an insertion/promotion policy.
+     * With no policy every fill and hit takes the unconditional
+     * MRU-stamp path — bit-identical to the pre-policy array. The policy
+     * is consulted with the access address on every hit and fill, and
+     * must outlive this array (the caller owns it).
+     */
+    void setPolicy(CachePolicy *policy) { policy_ = policy; }
+    const CachePolicy *policy() const { return policy_; }
 
     unsigned lineBytes() const { return line_bytes_; }
     std::uint64_t numSets() const { return sets_; }
@@ -258,6 +271,8 @@ class CacheArray
     /** floor(2^64 / sets_) + 1; used only when !sets_pow2_. */
     std::uint64_t set_magic_ = 0;
     std::uint64_t lru_clock_ = 0;
+    /** Optional insertion/promotion policy (GRASP); null = true LRU. */
+    CachePolicy *policy_ = nullptr;
     /**
      * Lookup tags, one entry per way, kEmptyTag when the way holds no
      * line. Split from lines_ so a hit scan touches a single host cache

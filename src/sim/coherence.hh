@@ -73,6 +73,15 @@ class CacheHierarchy
         return accessSlow(core, addr, write, now, sequential, line);
     }
 
+    /**
+     * Install (or remove with nullptr) an insertion/promotion policy on
+     * the shared L2 — the LLC, the only level where replacement priority
+     * matters for the paper's workloads. The caller owns the policy and
+     * must keep it alive for the hierarchy's lifetime.
+     */
+    void setLlcPolicy(CachePolicy *policy) { l2_.setPolicy(policy); }
+    const CachePolicy *llcPolicy() const { return l2_.policy(); }
+
     /** Crossbar (shared with the scratchpad network on OMEGA). */
     Crossbar &xbar() { return *xbar_; }
     const Crossbar &xbar() const { return *xbar_; }

@@ -18,9 +18,16 @@ Dram::Dram(const MachineParams &params)
     : base_latency_(params.dram_latency),
       bytes_per_cycle_(params.dramBytesPerCycle()),
       line_bytes_(params.l2.line_bytes),
-      channel_free_(params.dram_channels, 0)
+      channel_free_(params.dram_channels, 0),
+      channel_busy_(params.dram_channels, 0),
+      channel_requests_(params.dram_channels, 0)
 {
     omega_assert(bytes_per_cycle_ > 0.0, "dram bandwidth must be positive");
+    // The design-space sweep covers 1-16 channels (Green et al.,
+    // PAPERS.md); the trace tid encoding and the per-channel vectors
+    // assume a small fixed ceiling.
+    omega_assert(params.dram_channels >= 1 && params.dram_channels <= 16,
+                 "dram channel count must be in [1, 16]");
     const auto lb = static_cast<std::uint64_t>(line_bytes_);
     const std::uint64_t channels = channel_free_.size();
     if (std::has_single_bit(lb) && std::has_single_bit(channels)) {
@@ -63,6 +70,8 @@ Dram::occupy(Cycles now, unsigned channel, std::uint32_t bytes)
                                       0.5),
                   1);
     channel_free_[channel] = start + occupancy;
+    channel_busy_[channel] += occupancy;
+    ++channel_requests_[channel];
     queue_cycles_ += start - now;
     max_queue_ = std::max(max_queue_, start - now);
     queue_hist_.sample(static_cast<double>(start - now));
@@ -131,6 +140,8 @@ void
 Dram::reset()
 {
     std::fill(channel_free_.begin(), channel_free_.end(), 0);
+    std::fill(channel_busy_.begin(), channel_busy_.end(), 0);
+    std::fill(channel_requests_.begin(), channel_requests_.end(), 0);
     reads_ = writes_ = read_bytes_ = write_bytes_ = queue_cycles_ = 0;
     max_queue_ = 0;
     queue_hist_.reset();

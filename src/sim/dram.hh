@@ -63,6 +63,36 @@ class Dram
      */
     const Histogram &queueDelayHistogram() const { return queue_hist_; }
 
+    /** Configured channel count (the bench_channels sweep axis). */
+    unsigned numChannels() const
+    {
+        return static_cast<unsigned>(channel_free_.size());
+    }
+    /**
+     * Channel serving @p addr: line-interleaved round-robin, so the
+     * mapping partitions the line address space. Public so tests can
+     * verify the partition property directly.
+     */
+    unsigned channelOf(std::uint64_t addr) const;
+    /**
+     * @name Per-channel accounting.
+     * Occupancy cycles and request counts, one slot per channel.
+     * Exposed through accessors only — deliberately NOT registered in
+     * addStats(), whose entry list is frozen by the pinned golden
+     * digests; sum(busy) equals the single-channel occupancy total of
+     * the same request stream, and sum(requests) == reads() + writes().
+     * @{
+     */
+    const std::vector<Cycles> &channelBusyCycles() const
+    {
+        return channel_busy_;
+    }
+    const std::vector<std::uint64_t> &channelRequests() const
+    {
+        return channel_requests_;
+    }
+    /** @} */
+
     /** Identify this DRAM for event tracing (machine pid). */
     void setTracePid(int pid) { trace_pid_ = pid; }
 
@@ -78,7 +108,6 @@ class Dram
     void reset();
 
   private:
-    unsigned channelOf(std::uint64_t addr) const;
     /** Serialize a transfer on its channel; returns its start time. */
     Cycles occupy(Cycles now, unsigned channel, std::uint32_t bytes);
 
@@ -97,6 +126,8 @@ class Dram
     int trace_pid_ = 0;
     FaultInjector *fault_inj_ = nullptr;
     std::vector<Cycles> channel_free_;
+    std::vector<Cycles> channel_busy_;
+    std::vector<std::uint64_t> channel_requests_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     std::uint64_t read_bytes_ = 0;

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * GRASP machine implementation.
+ */
+
+#include "sim/grasp_machine.hh"
+
+namespace omega {
+
+GraspMachine::GraspMachine(const MachineParams &params)
+    : BaselineMachine(params, "grasp"),
+      policy_(std::make_unique<GraspPolicy>())
+{
+    hierarchy_.setLlcPolicy(policy_.get());
+    // With no regions installed yet every line classifies as Other; the
+    // counters below point into the policy object, which never moves.
+    const GraspPolicyStats *s = policy_->statsPtr();
+    policy_group_.addScalar("hot_inserts", &s->hot_inserts,
+                            "LLC fills from hot property ranges");
+    policy_group_.addScalar("warm_inserts", &s->warm_inserts,
+                            "LLC fills from warm property ranges");
+    policy_group_.addScalar("cold_inserts", &s->cold_inserts,
+                            "LLC fills from cold property ranges");
+    policy_group_.addScalar("other_inserts", &s->other_inserts,
+                            "LLC fills outside monitored ranges");
+    policy_group_.addScalar("distant_inserts", &s->distant_inserts,
+                            "LLC fills at distant-reuse priority");
+    policy_group_.addScalar("promoted_hits", &s->promoted_hits,
+                            "LLC hits promoted to MRU");
+    policy_group_.addScalar("unpromoted_hits", &s->unpromoted_hits,
+                            "LLC hits left at their priority");
+    stats_root_.addChild(&policy_group_);
+}
+
+void
+GraspMachine::configure(const MachineConfig &config)
+{
+    BaselineMachine::configure(config);
+    policy_->setRegions(
+        GraspPolicy::regionsFromConfig(config, kWarmFactor));
+}
+
+} // namespace omega

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Machine registry table.
+ */
+
+#include "sim/machine_registry.hh"
+
+#include "omega/omega_machine.hh"
+#include "sim/baseline_machine.hh"
+#include "sim/grasp_machine.hh"
+#include "util/logging.hh"
+
+namespace omega {
+
+namespace {
+
+std::unique_ptr<MemorySystem>
+makeBaseline(const MachineParams &params)
+{
+    return std::make_unique<BaselineMachine>(params);
+}
+
+std::unique_ptr<MemorySystem>
+makeGrasp(const MachineParams &params)
+{
+    return std::make_unique<GraspMachine>(params);
+}
+
+std::unique_ptr<MemorySystem>
+makeOmega(const MachineParams &params)
+{
+    return std::make_unique<OmegaMachine>(params);
+}
+
+} // namespace
+
+const std::vector<MachineRegistryEntry> &
+machineRegistry()
+{
+    static const std::vector<MachineRegistryEntry> table = {
+        {"baseline", "plain-cache CMP (paper Table III)",
+         &MachineParams::baseline, &makeBaseline},
+        {"grasp", "baseline hardware + GRASP LLC insertion/promotion",
+         &MachineParams::grasp, &makeGrasp},
+        {"omega", "scratchpads + PISC engines (paper Fig 6)",
+         &MachineParams::omega, &makeOmega},
+        {"omega-sp-only", "scratchpads without PISCs (section X.A)",
+         &MachineParams::omegaScratchpadOnly, &makeOmega},
+    };
+    return table;
+}
+
+const MachineRegistryEntry *
+findMachineEntry(std::string_view name)
+{
+    for (const MachineRegistryEntry &e : machineRegistry()) {
+        if (name == e.name)
+            return &e;
+    }
+    return nullptr;
+}
+
+const MachineRegistryEntry &
+machineEntry(std::string_view name)
+{
+    const MachineRegistryEntry *e = findMachineEntry(name);
+    if (e == nullptr)
+        panic("unknown machine '", std::string(name), "'");
+    return *e;
+}
+
+} // namespace omega

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Machine registry: the simulated design points, enumerable by name.
+ *
+ * The repo started as a two-point comparison (baseline vs. OMEGA) and
+ * the glue code grew hard-coded {baseline, omega} pairs — machine
+ * construction switches in the bench harness, in the differential
+ * oracle, in stats labels. The registry replaces those: every simulated
+ * machine is one entry carrying its canonical name, its parameter
+ * factory and its constructor, and benches/tests iterate the table
+ * instead of enumerating literals. Adding a fourth design point means
+ * adding one entry here.
+ *
+ * The entry's name is the single source of truth for every label a run
+ * emits: the constructed machine's name() must equal it (enforced by
+ * test_machines), and --json "machine" fields, trace process names and
+ * stat-tree roots all derive from name().
+ */
+
+#ifndef OMEGA_SIM_MACHINE_REGISTRY_HH
+#define OMEGA_SIM_MACHINE_REGISTRY_HH
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/memory_system.hh"
+#include "sim/params.hh"
+
+namespace omega {
+
+/** One simulated design point. */
+struct MachineRegistryEntry
+{
+    /** Canonical machine label (JSON fields, trace pids, stat roots). */
+    const char *name;
+    /** One-line design summary for tables/usage text. */
+    const char *description;
+    /** Unscaled paper-configuration parameters. */
+    MachineParams (*make_params)();
+    /** Construct the machine from (possibly tweaked/scaled) params. */
+    std::unique_ptr<MemorySystem> (*make)(const MachineParams &params);
+};
+
+/**
+ * All registered machines, in canonical sweep order: baseline first,
+ * then the cache-management design point, then the scratchpad designs.
+ */
+const std::vector<MachineRegistryEntry> &machineRegistry();
+
+/** Entry by canonical name, or nullptr if unknown. */
+const MachineRegistryEntry *findMachineEntry(std::string_view name);
+
+/** Entry by canonical name; panics on an unknown name. */
+const MachineRegistryEntry &machineEntry(std::string_view name);
+
+} // namespace omega
+
+#endif // OMEGA_SIM_MACHINE_REGISTRY_HH

@@ -21,6 +21,12 @@ MachineParams::baseline()
 }
 
 MachineParams
+MachineParams::grasp()
+{
+    return baseline();
+}
+
+MachineParams
 MachineParams::omega()
 {
     MachineParams p;

@@ -106,6 +106,14 @@ struct MachineParams
 
     /** Paper Table III baseline CMP. */
     static MachineParams baseline();
+    /**
+     * GRASP node: the baseline hardware verbatim — the machine differs
+     * only in the LLC insertion/promotion policy GraspMachine installs,
+     * so the parameter document of a grasp run is identical to a
+     * baseline run's (a deliberate property: the two machines isolate
+     * pure replacement-policy effects).
+     */
+    static MachineParams grasp();
     /** Paper Table III OMEGA node (half L2 re-purposed as scratchpads). */
     static MachineParams omega();
     /** OMEGA with scratchpads but no PISC engines (section X.A ablation). */

@@ -11,8 +11,7 @@
 #include <utility>
 
 #include "graph/reorder.hh"
-#include "omega/omega_machine.hh"
-#include "sim/baseline_machine.hh"
+#include "sim/machine_registry.hh"
 #include "testing/invariants.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -37,47 +36,42 @@ needsVertices(AlgorithmKind kind)
     }
 }
 
-MachineParams
-variantParams(MachineVariant variant, double capacity_scale)
-{
-    switch (variant) {
-      case MachineVariant::Baseline:
-        return MachineParams::baseline().scaledCapacities(capacity_scale);
-      case MachineVariant::OmegaSpOnly:
-        return MachineParams::omegaScratchpadOnly().scaledCapacities(
-            capacity_scale);
-      case MachineVariant::Omega:
-      case MachineVariant::OmegaNoReorder:
-        return MachineParams::omega().scaledCapacities(capacity_scale);
-    }
-    panic("unknown machine variant");
-}
-
 } // namespace
 
 const char *
 machineVariantName(MachineVariant variant)
 {
+    // OmegaNoReorder runs the registry's "omega" machine on a different
+    // graph ordering, so it keeps a distinct display name.
+    if (variant == MachineVariant::OmegaNoReorder)
+        return "omega-no-reorder";
+    return machineVariantRegistryName(variant);
+}
+
+const char *
+machineVariantRegistryName(MachineVariant variant)
+{
     switch (variant) {
       case MachineVariant::Baseline:
         return "baseline";
+      case MachineVariant::Grasp:
+        return "grasp";
       case MachineVariant::Omega:
-        return "omega";
       case MachineVariant::OmegaNoReorder:
-        return "omega-no-reorder";
+        return "omega";
       case MachineVariant::OmegaSpOnly:
         return "omega-sp-only";
     }
-    return "?";
+    panic("unknown machine variant");
 }
 
 std::unique_ptr<MemorySystem>
 makeMachine(MachineVariant variant, double capacity_scale)
 {
-    const MachineParams params = variantParams(variant, capacity_scale);
-    if (variant == MachineVariant::Baseline)
-        return std::make_unique<BaselineMachine>(params);
-    return std::make_unique<OmegaMachine>(params);
+    const MachineRegistryEntry &entry =
+        machineEntry(machineVariantRegistryName(variant));
+    return entry.make(
+        entry.make_params().scaledCapacities(capacity_scale));
 }
 
 std::string
@@ -176,6 +170,8 @@ runDifferentialCase(const FuzzSpec &spec, AlgorithmKind algorithm,
              checkStatsInvariants(report, mach->params()))
             result.failures.push_back(tag + f);
         for (std::string &f : checkMachineClocks(*mach))
+            result.failures.push_back(tag + f);
+        for (std::string &f : checkPolicyInvariants(*mach, report))
             result.failures.push_back(tag + f);
 
         // Edge-less graphs may legitimately emit no machine events

@@ -14,11 +14,18 @@
  *
  * Variants:
  *  - Baseline:        baseline CMP on the hot-first reordered graph.
+ *  - Grasp:           baseline hardware with the GRASP LLC policy on the
+ *                     reordered graph (replacement priorities must never
+ *                     change computed results).
  *  - Omega:           OMEGA machine on the same reordered graph.
  *  - OmegaNoReorder:  OMEGA machine on the identity-ordered graph (the
  *                     scratchpad hot set is then arbitrary — results
  *                     must STILL be identical; only timing may differ).
  *  - OmegaSpOnly:     scratchpads without PISCs (section X.A ablation).
+ *
+ * Machines are constructed through the machine registry
+ * (sim/machine_registry.hh); a variant is a registry name plus an
+ * optional graph-ordering twist.
  */
 
 #ifndef OMEGA_TESTING_DIFFERENTIAL_HH
@@ -42,6 +49,7 @@ namespace testing {
 enum class MachineVariant : std::uint8_t
 {
     Baseline,
+    Grasp,
     Omega,
     OmegaNoReorder,
     OmegaSpOnly,
@@ -49,6 +57,9 @@ enum class MachineVariant : std::uint8_t
 
 /** Printable variant name. */
 const char *machineVariantName(MachineVariant variant);
+
+/** Registry name of the machine a variant constructs. */
+const char *machineVariantRegistryName(MachineVariant variant);
 
 /** Construct the machine for @p variant with capacities scaled. */
 std::unique_ptr<MemorySystem> makeMachine(MachineVariant variant,
@@ -63,8 +74,10 @@ struct DiffOptions
     std::uint64_t max_ulps = 256;
     /** Also check timing-sanity invariants on every machine run. */
     bool check_timing = true;
-    /** Machine variants to sweep. */
+    /** Machine variants to sweep: functional vs. all three simulated
+     *  machine designs, plus the no-reorder OMEGA twist. */
     std::vector<MachineVariant> variants = {MachineVariant::Baseline,
+                                            MachineVariant::Grasp,
                                             MachineVariant::Omega,
                                             MachineVariant::OmegaNoReorder};
     /**

@@ -7,6 +7,8 @@
 
 #include <sstream>
 
+#include "sim/grasp_machine.hh"
+
 namespace omega {
 namespace testing {
 
@@ -125,6 +127,36 @@ checkMachineClocks(const MemorySystem &mach)
                 pairMsg("core clock ahead of post-barrier global clock", t,
                         total));
     }
+    return out;
+}
+
+std::vector<std::string>
+checkPolicyInvariants(const MemorySystem &mach, const StatsReport &r)
+{
+    std::vector<std::string> out;
+    const auto *grasp = dynamic_cast<const GraspMachine *>(&mach);
+    if (grasp == nullptr)
+        return out;
+    const GraspPolicyStats &s = grasp->policy().stats();
+
+    // The L2 consults the policy exactly once per fill and once per hit,
+    // so the decision counters must sum to the hierarchy's L2 totals.
+    const std::uint64_t l2_misses = r.l2_accesses - r.l2_hits;
+    require(out, s.inserts() == l2_misses,
+            pairMsg("policy insert decisions != L2 fills", s.inserts(),
+                    l2_misses));
+    require(out, s.hits() == r.l2_hits,
+            pairMsg("policy promotion decisions != L2 hits", s.hits(),
+                    r.l2_hits));
+
+    // GRASP's whole point: the protected hot set always inserts at MRU,
+    // and only non-hot classes ever take the distant-reuse path.
+    require(out,
+            s.distant_inserts ==
+                s.warm_inserts + s.cold_inserts + s.other_inserts,
+            pairMsg("hot-region lines inserted at distant-reuse priority",
+                    s.distant_inserts,
+                    s.warm_inserts + s.cold_inserts + s.other_inserts));
     return out;
 }
 

@@ -43,6 +43,20 @@ std::vector<std::string> checkStatsInvariants(const StatsReport &r,
 std::vector<std::string> checkMachineClocks(const MemorySystem &mach);
 
 /**
+ * Cache-policy accounting identities of a finished run. On machines
+ * with a GRASP LLC policy the policy's per-decision counters must tile
+ * the hierarchy's L2 totals exactly — one insert decision per fill, one
+ * promotion decision per hit — and hot-region lines must never have
+ * been inserted at distant-reuse priority. Machines with no policy
+ * trivially pass (empty result).
+ *
+ * @param mach the live machine after its run.
+ * @param r the machine's report, taken after the final barrier.
+ */
+std::vector<std::string> checkPolicyInvariants(const MemorySystem &mach,
+                                               const StatsReport &r);
+
+/**
  * Lower bound for DRAM read traffic of a run that streams every
  * out-edge at least once (PageRank's all-active sweep): the caches
  * start cold, so each distinct edge-array line is a compulsory miss.

@@ -3,9 +3,10 @@
  * Differential oracle + fuzz harness tests.
  *
  * The main sweep runs every algorithm on every fuzz-matrix graph through
- * the baseline machine, the OMEGA machine, and OMEGA without hot-first
- * reordering, comparing each against the functional engine and checking
- * the timing-sanity invariants. A failing case prints its FuzzSpec so it
+ * the baseline machine, the GRASP machine (LLC insertion/promotion
+ * policy), the OMEGA machine, and OMEGA without hot-first reordering,
+ * comparing each against the functional engine and checking the
+ * timing-sanity invariants (including the GRASP policy identities). A failing case prints its FuzzSpec so it
  * can be replayed in isolation; set OMEGA_FUZZ_SEED=<n> to run one extra
  * randomized spec derived from that seed.
  */
@@ -198,6 +199,45 @@ TEST(Invariants, DetectsCorruptedReport)
     EXPECT_FALSE(checkStatsInvariants(bad, mach->params()).empty());
 }
 
+TEST(Invariants, DetectsCorruptedPolicyStats)
+{
+    // The GRASP policy identities tie every insertion/promotion decision
+    // to an LLC event: decouple either side and the check must fire.
+    const FuzzSpec spec = defaultFuzzMatrix().front();
+    const Graph g = spec.materialize();
+    auto mach = makeMachine(MachineVariant::Grasp, 1.0 / 64.0);
+    captureAlgorithm(AlgorithmKind::PageRank, g, mach.get());
+
+    const StatsReport good = mach->report();
+    EXPECT_TRUE(checkPolicyInvariants(*mach, good).empty());
+
+    StatsReport bad = good;
+    bad.l2_hits += 1; // breaks the fill AND the promotion identity
+    EXPECT_FALSE(checkPolicyInvariants(*mach, bad).empty());
+
+    // Machines without a policy have nothing to check (never fails).
+    auto base = makeMachine(MachineVariant::Baseline, 1.0 / 64.0);
+    EXPECT_TRUE(checkPolicyInvariants(*base, bad).empty());
+}
+
+TEST(Differential, DefaultVariantsCoverFourMachinesWithRegistryNames)
+{
+    // The default sweep runs the full machine matrix, and each variant's
+    // display name agrees with the machine the registry constructs.
+    const DiffOptions opts;
+    ASSERT_EQ(opts.variants.size(), 4u);
+    for (MachineVariant v : opts.variants) {
+        auto mach = makeMachine(v, 1.0 / 64.0);
+        // Ablations reuse a registry machine under a different label;
+        // pure variants must agree with the constructed machine's name.
+        if (v == MachineVariant::OmegaNoReorder) {
+            EXPECT_STREQ(machineVariantRegistryName(v), "omega");
+        } else {
+            EXPECT_EQ(mach->name(), machineVariantName(v));
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // The tentpole sweep: algorithms x fuzzed graphs x machine variants.
 
@@ -287,7 +327,8 @@ TEST(Differential, RerunIsBitIdenticalIncludingTiming)
         return std::make_pair(cap, mach->cycles());
     };
     for (MachineVariant variant :
-         {MachineVariant::Baseline, MachineVariant::Omega}) {
+         {MachineVariant::Baseline, MachineVariant::Grasp,
+          MachineVariant::Omega}) {
         const auto first = run(variant);
         const auto second = run(variant);
         EXPECT_TRUE(compareCaptures(first.first, second.first,
@@ -336,7 +377,8 @@ TEST(Differential, ObservabilityOutputIsByteIdentical)
     };
 
     for (MachineVariant variant :
-         {MachineVariant::Baseline, MachineVariant::Omega}) {
+         {MachineVariant::Baseline, MachineVariant::Grasp,
+          MachineVariant::Omega}) {
         SCOPED_TRACE(machineVariantName(variant));
         const auto first = serialize(variant);
         const auto second = serialize(variant);

@@ -74,5 +74,91 @@ TEST(GoldenDigest, Fig14PageRankSdJsonIsByteIdentical)
     std::remove(path.c_str());
 }
 
+/** Run @p body inside a --json session and return the document bytes. */
+template <typename Body>
+std::string
+sessionDocument(const std::string &path, Body &&body)
+{
+    {
+        std::string prog = "test_golden_digest";
+        std::string flag = "--json";
+        std::string arg = path;
+        char *argv[] = {prog.data(), flag.data(), arg.data()};
+        BenchSession session("bench_fig14_speedup", 3, argv);
+        body();
+    } // session destruction writes the document
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return {};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::remove(path.c_str());
+    return buf.str();
+}
+
+TEST(GoldenDigest, GraspPageRankSdJsonIsByteIdentical)
+{
+    // The GRASP machine's document: identical hardware parameters to the
+    // baseline (the machine differs only in the installed LLC policy)
+    // plus the policy stat group. sd fits the scaled LLC, so the
+    // simulated counters must match the baseline's exactly — this digest
+    // pins that AND the grasp-specific document layout.
+    const std::string doc =
+        sessionDocument("golden_digest_grasp.json", [] {
+            const auto spec = findDataset("sd");
+            ASSERT_TRUE(spec.has_value());
+            runOn(*spec, AlgorithmKind::PageRank, MachineKind::Grasp);
+        });
+    ASSERT_FALSE(doc.empty());
+    const std::uint64_t kPinnedGraspDigest = 0xf1a2638238fc46c5ull;
+    EXPECT_EQ(fnv1a(doc), kPinnedGraspDigest)
+        << "grasp document diverged (" << doc.size()
+        << " bytes; digest 0x" << std::hex << fnv1a(doc) << ")";
+}
+
+TEST(GoldenDigest, ExplicitFourChannelTweakReproducesDefaultDocument)
+{
+    // dram_channels defaults to 4: routing the same value through the
+    // sweep's tweak path must reproduce the pinned fig14 document byte
+    // for byte — the channel parameterization is observable only through
+    // the parameter it sets.
+    const std::string doc =
+        sessionDocument("golden_digest_4ch.json", [] {
+            const auto spec = findDataset("sd");
+            ASSERT_TRUE(spec.has_value());
+            const auto four = [](MachineParams &p) {
+                p.dram_channels = 4;
+            };
+            runOn(*spec, AlgorithmKind::PageRank, MachineKind::Baseline,
+                  four);
+            runOn(*spec, AlgorithmKind::PageRank, MachineKind::Omega,
+                  four);
+        });
+    ASSERT_FALSE(doc.empty());
+    EXPECT_EQ(fnv1a(doc), 0x0fb81fd4f4d6f6eeull)
+        << "explicit 4-channel tweak diverged from the default document ("
+        << doc.size() << " bytes; digest 0x" << std::hex << fnv1a(doc)
+        << ")";
+}
+
+TEST(GoldenDigest, SingleChannelBaselineJsonIsByteIdentical)
+{
+    // The channel design-space axis itself, pinned at its other end: a
+    // 1-channel baseline run. Locks the per-channel serialization path
+    // (queueing, occupancy) the bench_channels sweep reads.
+    const std::string doc =
+        sessionDocument("golden_digest_1ch.json", [] {
+            const auto spec = findDataset("sd");
+            ASSERT_TRUE(spec.has_value());
+            runOn(*spec, AlgorithmKind::PageRank, MachineKind::Baseline,
+                  [](MachineParams &p) { p.dram_channels = 1; });
+        });
+    ASSERT_FALSE(doc.empty());
+    const std::uint64_t kPinnedOneChannelDigest = 0xa0f70011a0cc59d5ull;
+    EXPECT_EQ(fnv1a(doc), kPinnedOneChannelDigest)
+        << "1-channel document diverged (" << doc.size()
+        << " bytes; digest 0x" << std::hex << fnv1a(doc) << ")";
+}
+
 } // namespace
 } // namespace omega

@@ -102,7 +102,8 @@ usageError(const std::string &bench, const std::string &msg)
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--trace <path>]"
                  " [--interval <cycles>] [--jobs <n>]"
-                 " [--faults <key=value,...>] [bench args...]\n",
+                 " [--faults <key=value,...>] [--profile <path>]"
+                 " [bench args...]\n",
                  bench.c_str());
     std::exit(2);
 }
@@ -199,7 +200,7 @@ CompletedRun
 executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
            const std::function<void(MachineParams &)> &tweak, bool want_json,
            bool want_trace, Cycles interval_cycles,
-           const FaultPlan *faults)
+           const FaultPlan *faults, bool want_profile)
 {
     const Graph &g = datasetGraph(spec);
     MachineParams params = machineFor(kind, spec);
@@ -211,6 +212,8 @@ executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
     std::unique_ptr<MemorySystem> m = registryEntryFor(kind).make(params);
     if (faults != nullptr)
         m->armFaults(*faults);
+    if (want_profile)
+        m->armProfile();
 
     std::optional<trace::ScopedSink> scoped;
     if (want_trace) {
@@ -226,6 +229,13 @@ executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
 
     if (want_json || want_trace)
         m->recordFinalSample();
+    if (want_profile) {
+        if (AccessProfiler *prof = m->profiler()) {
+            // Flush the trailing partial phase before anything renders
+            // the stat tree or the profile document.
+            prof->finishRun(m->cycles());
+        }
+    }
     run.outcome.stats = m->report();
     if (want_json) {
         if (const StatGroup *tree = m->statTree()) {
@@ -241,6 +251,16 @@ executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
             inj->writeJson(w);
             omega_assert(w.complete(), "fault JSON left unterminated");
             run.fault_json = os.str();
+        }
+    }
+    if (want_profile) {
+        if (AccessProfiler *prof = m->profiler()) {
+            std::ostringstream os;
+            JsonWriter w(os, /*pretty=*/false);
+            prof->writeJson(w);
+            omega_assert(w.complete(), "profile JSON left unterminated");
+            run.profile_json = os.str();
+            run.outcome.profile = prof->summary();
         }
     }
     run.intervals = recorder;
@@ -272,12 +292,14 @@ runOn(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
 
     const bool want_json = observe && session->jsonEnabled();
     const bool want_trace = observe && session->traceEnabled();
+    const bool want_profile = observe && session->profileEnabled();
     CompletedRun run;
     try {
         run = executeRun(spec, algo, kind, tweak, want_json, want_trace,
                          observe ? session->intervalCycles() : 0,
                          session != nullptr ? session->faultPlan()
-                                            : nullptr);
+                                            : nullptr,
+                         want_profile);
     } catch (const WatchdogError &e) {
         if (session != nullptr)
             session->abortSession(e.what()); // flushes partial JSON, exits
@@ -369,6 +391,16 @@ BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
                 usageError(bench_name_,
                            "--faults spec '" + tok + "': " + error);
             }
+        } else if (arg == "--profile") {
+            profile_path_ = operand("--profile");
+            // Fail fast on an unwritable destination: the document is
+            // only written at session end, after a potentially long
+            // sweep. Append mode probes without truncating.
+            std::ofstream probe(profile_path_, std::ios::app);
+            if (!probe) {
+                usageError(bench_name_, "--profile path '" + profile_path_ +
+                                            "' is not writable");
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             usageError(bench_name_, "unknown flag '" + arg + "'");
         } else {
@@ -388,6 +420,10 @@ BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
                  "the trace file will contain no events");
         }
     }
+    if (!profile_path_.empty() && !profile::compiledIn()) {
+        warn("--profile requested but OMEGA_PROFILE was compiled out; "
+             "every profile in the document will be unarmed/all-zero");
+    }
     prev_active_ = g_active_session;
     g_active_session = this;
 }
@@ -399,6 +435,8 @@ BenchSession::~BenchSession()
         writeJsonDoc();
     if (sink_ != nullptr)
         writeTraceFile();
+    if (profileEnabled())
+        writeProfileDoc();
 }
 
 BenchSession *
@@ -419,6 +457,8 @@ BenchSession::abortSession(const std::string &reason)
         writeJsonDoc();
     if (sink_ != nullptr)
         writeTraceFile();
+    if (profileEnabled())
+        writeProfileDoc();
     std::exit(1);
 }
 
@@ -430,7 +470,7 @@ BenchSession::recordCompleted(const std::string &dataset,
 {
     if (sink_ != nullptr && run.trace_sink != nullptr)
         sink_->mergeFrom(*run.trace_sink);
-    if (!jsonEnabled())
+    if (!jsonEnabled() && !profileEnabled())
         return;
     RunRecord rec;
     rec.dataset = dataset;
@@ -440,6 +480,7 @@ BenchSession::recordCompleted(const std::string &dataset,
     rec.stat_tree_json = run.stat_tree_json;
     rec.intervals = run.intervals;
     rec.fault_json = run.fault_json;
+    rec.profile_json = run.profile_json;
     runs_.push_back(std::move(rec));
 }
 
@@ -513,6 +554,51 @@ BenchSession::writeJsonDoc() const
 }
 
 void
+BenchSession::writeProfileDoc() const
+{
+    std::ofstream os(profile_path_);
+    if (!os) {
+        warn("cannot open --profile output path: ", profile_path_);
+        return;
+    }
+    // Deliberately a separate document from --json: the main document's
+    // layout is digest-frozen, and profile payloads are large. Runs are
+    // emitted in consumption order (like writeJsonDoc), so the document
+    // is byte-identical for any --jobs value.
+    JsonWriter w(os, /*pretty=*/true);
+    w.beginObject();
+    w.field("schema_version", kSchemaVersion);
+    w.field("bench", bench_name_);
+    if (aborted_) {
+        w.field("status", "aborted");
+        w.field("abort_reason", abort_reason_);
+    }
+    w.key("args").beginArray();
+    for (const std::string &a : args_)
+        w.value(a);
+    w.endArray();
+    w.field("profile_compiled_in", profile::compiledIn());
+    w.key("runs").beginArray();
+    for (const RunRecord &rec : runs_) {
+        w.beginObject();
+        w.field("dataset", rec.dataset);
+        w.field("algorithm", rec.algorithm);
+        w.field("machine", rec.machine);
+        w.field("cycles", rec.outcome.cycles);
+        w.key("profile");
+        if (!rec.profile_json.empty())
+            w.rawValue(rec.profile_json);
+        else
+            w.null();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    omega_assert(w.complete(), "profile document left unterminated");
+    os << '\n';
+}
+
+void
 BenchSession::writeTraceFile() const
 {
     std::ofstream os(trace_path_);
@@ -571,6 +657,7 @@ SweepRunner::run()
 
     const bool want_json = session->jsonEnabled();
     const bool want_trace = session->traceEnabled();
+    const bool want_profile = session->profileEnabled();
     const Cycles interval = session->intervalCycles();
     const FaultPlan *faults = session->faultPlan();
     std::vector<CompletedRun> results(planned_.size());
@@ -582,7 +669,8 @@ SweepRunner::run()
         const PlannedRun &p = planned_[i];
         try {
             results[i] = executeRun(p.spec, p.algo, p.kind, p.tweak,
-                                    want_json, want_trace, interval, faults);
+                                    want_json, want_trace, interval, faults,
+                                    want_profile);
         } catch (const WatchdogError &e) {
             std::lock_guard<std::mutex> lock(failure_mutex);
             if (!failure.has_value())

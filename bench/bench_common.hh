@@ -24,6 +24,7 @@
 #include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
 #include "sim/params.hh"
+#include "sim/profile.hh"
 #include "sim/stats_report.hh"
 
 namespace omega::trace {
@@ -56,6 +57,9 @@ struct RunOutcome
     Cycles cycles = 0;
     StatsReport stats;
     MachineParams params;
+    /** Headline access-profile numbers (armed profiled runs only;
+     *  all-zero with profile.armed == false otherwise). */
+    ProfileSummary profile;
 };
 
 /** Build + reorder the canonical instance of @p spec (cached per name). */
@@ -102,6 +106,8 @@ struct CompletedRun
     std::unique_ptr<trace::TraceSink> trace_sink;
     /** Pre-rendered fault campaign object (only when faults are armed). */
     std::string fault_json;
+    /** Pre-rendered access-profile object (only when profiling). */
+    std::string profile_json;
 };
 
 /**
@@ -120,7 +126,12 @@ struct CompletedRun
  *   --jobs <n>          execute SweepRunner-planned runs on up to n
  *                       threads (default 1: fully sequential);
  *   --faults <spec>     arm every machine runOn() builds with the fault
- *                       plan parsed from <spec> (see FaultPlan::parse).
+ *                       plan parsed from <spec> (see FaultPlan::parse);
+ *   --profile <path>    arm access profiling on every machine and write a
+ *                       separate versioned JSON document with each run's
+ *                       reuse-distance/3C/region/phase profile. Needs an
+ *                       OMEGA_PROFILE build to collect anything (a
+ *                       warning and all-zero profiles otherwise).
  *
  * Flag operands are validated: a missing operand, a malformed or
  * out-of-range number (--jobs 0), a bad fault spec, or an unrecognized
@@ -150,9 +161,15 @@ class BenchSession
 
     bool jsonEnabled() const { return !json_path_.empty(); }
     bool traceEnabled() const { return sink_ != nullptr; }
+    bool profileEnabled() const { return !profile_path_.empty(); }
     /** True when runOn() should instrument machines at all. */
-    bool observing() const { return jsonEnabled() || traceEnabled(); }
+    bool observing() const
+    {
+        return jsonEnabled() || traceEnabled() || profileEnabled();
+    }
     Cycles intervalCycles() const { return interval_cycles_; }
+    /** Arguments the session left for the bench (echoed into JSON). */
+    const std::vector<std::string> &args() const { return args_; }
     /** Worker threads for SweepRunner (--jobs, >= 1). */
     unsigned jobs() const { return jobs_; }
     /** The --faults plan, or nullptr when no campaign is armed. */
@@ -195,16 +212,19 @@ class BenchSession
         std::string stat_tree_json;
         IntervalRecorder intervals;
         std::string fault_json;
+        std::string profile_json;
     };
 
     void writeJsonDoc() const;
     void writeTraceFile() const;
+    void writeProfileDoc() const;
 
     std::string bench_name_;
     /** Arguments not consumed by the session (bench-specific). */
     std::vector<std::string> args_;
     std::string json_path_;
     std::string trace_path_;
+    std::string profile_path_;
     Cycles interval_cycles_ = 0;
     unsigned jobs_ = 1;
     std::optional<FaultPlan> faults_;

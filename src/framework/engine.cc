@@ -85,8 +85,15 @@ Engine::emitStreaming(std::uint64_t base, std::uint64_t bytes, bool write,
 void
 Engine::finishPhase()
 {
-    if (mach_)
+    ++phases_;
+    if (mach_) {
         mach_->barrier();
+        if (const int pid = mach_->tracePid(); pid > 0) {
+            trace::emitInstant("engine.phase", "engine", pid,
+                               trace::kEngineTid, mach_->cycles(), "phase",
+                               phases_);
+        }
+    }
 }
 
 void

@@ -115,6 +115,10 @@ class Engine
     MemorySystem *machine() { return mach_; }
     const UpdateFn &updateFn() const { return fn_; }
     std::uint64_t iterations() const { return iterations_; }
+    /** Parallel phases (barriers) completed — a finer-grained progress
+     *  marker than iterations(); one edgeMap/vertexMap counts one or
+     *  more phases. Profiled runs use it to size phase attribution. */
+    std::uint64_t phases() const { return phases_; }
 
     /** @name Raw event emission (custom algorithms: TC, KC). @{ */
     void
@@ -348,6 +352,7 @@ class Engine
     unsigned edge_entry_bytes_ = 4;
 
     std::uint64_t iterations_ = 0;
+    std::uint64_t phases_ = 0;
 
     /** Next-frontier collection state (valid during edgeMap). */
     std::vector<std::uint8_t> next_dense_;

@@ -165,6 +165,8 @@ OmegaMachine::configure(const MachineConfig &config)
 
     last_barrier_cycles_ = global_cycles_;
     refreshWatchdog();
+    if (profiler_ != nullptr)
+        profiler_->configure(config);
 }
 
 void
@@ -188,6 +190,36 @@ OmegaMachine::armFaults(const FaultPlan &plan)
         piscs_[c].setFaultInjector(injector_.get(),
                                    static_cast<unsigned>(c));
     refreshWatchdog();
+}
+
+void
+OmegaMachine::armProfile()
+{
+    if (profiler_ == nullptr) {
+        AccessProfiler::Config cfg;
+        cfg.num_cores = params_.num_cores;
+        cfg.l1_lines = params_.l1d.lines();
+        cfg.llc_lines = params_.l2.lines();
+        cfg.llc_sets = hierarchy_.llc().numSets();
+        cfg.line_bytes = params_.l2.line_bytes;
+        cfg.num_scratchpads = static_cast<unsigned>(scratchpads_.size());
+        profiler_ = std::make_unique<AccessProfiler>(cfg);
+        // Lazy stat registration, like armFaults(): the "profile" group
+        // only exists on armed runs, so the unarmed stat tree — and the
+        // pinned golden digests over it — stays byte-identical.
+        profile_group_ = std::make_unique<StatGroup>("profile");
+        profiler_->attachDramChannels(
+            &hierarchy_.dram().channelBusyCycles(),
+            &hierarchy_.dram().channelRequests());
+        profiler_->addStats(*profile_group_);
+        stats_root_.addChild(profile_group_.get());
+    } else {
+        // Re-arm in place: the stat group holds pointers into the
+        // profiler's counters, so the object's address must not change.
+        profiler_->reset();
+    }
+    profiler_->configure(config_);
+    hierarchy_.setProfiler(profiler_.get());
 }
 
 void
@@ -216,13 +248,16 @@ OmegaMachine::countVertexAccess(VertexId vertex)
 
 Cycles
 OmegaMachine::scratchpadAccess(unsigned core, const SpRoute &route,
-                               std::uint32_t bytes, bool write)
+                               std::uint64_t addr, std::uint32_t bytes,
+                               bool write)
 {
     Scratchpad &sp = scratchpads_[route.home];
     if (write)
         sp.recordWrite(bytes);
     else
         sp.recordRead(bytes);
+    if (profile::compiledIn() && profiler_ != nullptr)
+        profiler_->onScratchpadAccess(addr, bytes, write, route.home);
 
     if (route.home == core) {
         ++sp_local_;
@@ -334,8 +369,8 @@ OmegaMachine::memAccess(const MemAccess &access)
         if (auto route = controller_.route(access.addr, access.core)) {
             CoreModel &core = cores_[access.core];
             const Cycles lat =
-                scratchpadAccess(access.core, *route, access.size,
-                                 access.op == MemOp::Store);
+                scratchpadAccess(access.core, *route, access.addr,
+                                 access.size, access.op == MemOp::Store);
             core.issueMemory(lat, access.blocking);
             return;
         }
@@ -353,6 +388,9 @@ OmegaMachine::readSrcProp(unsigned core, VertexId vertex,
         if (route->home == core) {
             // Local scratchpad read; the buffer only caches remote data.
             scratchpads_[route->home].recordRead(size);
+            if (profile::compiledIn() && profiler_ != nullptr)
+                profiler_->onScratchpadAccess(addr, size, false,
+                                              route->home);
             ++sp_local_;
             Cycles lat = scratchpads_[route->home].latency();
             if (injector_ != nullptr)
@@ -364,7 +402,8 @@ OmegaMachine::readSrcProp(unsigned core, VertexId vertex,
             cm.issueMemory(1, false); // served from the core-local buffer
             return;
         }
-        const Cycles lat = scratchpadAccess(core, *route, size, false);
+        const Cycles lat = scratchpadAccess(core, *route, addr, size,
+                                            false);
         cm.issueMemory(lat, false);
         return;
     }
@@ -391,16 +430,19 @@ OmegaMachine::coreAtomic(const AtomicRequest &request)
         // word granularity.
         core.prepareIssue(StallKind::Atomic);
         const Cycles rlat =
-            scratchpadAccess(request.core, *route, request.size, false);
+            scratchpadAccess(request.core, *route, request.addr,
+                             request.size, false);
         core.issueMemory(rlat, false, StallKind::Atomic);
         core.serialize(params_.atomic_serialize, StallKind::Atomic);
         const Cycles wlat =
-            scratchpadAccess(request.core, *route, request.size, true);
+            scratchpadAccess(request.core, *route, request.addr,
+                             request.size, true);
         core.issueMemory(wlat, false, StallKind::Atomic);
         if (request.activates_dense) {
             // The dense bit lives in the vertex's scratchpad line.
             const Cycles blat =
-                scratchpadAccess(request.core, *route, 1, true);
+                scratchpadAccess(request.core, *route, request.addr, 1,
+                                 true);
             core.issueMemory(blat, false);
         }
     } else {
@@ -559,11 +601,19 @@ OmegaMachine::atomicUpdate(const AtomicRequest &request)
                             request.vertex);
     }
     scratchpads_[route->home].recordAtomic();
+    if (profile::compiledIn() && profiler_ != nullptr) {
+        // A PISC atomic is one read-modify-write against the home line.
+        profiler_->onScratchpadAccess(request.addr, request.size, true,
+                                      route->home);
+    }
 
     // Active-list maintenance is offloaded too (paper section V.B).
     if (request.activates_dense) {
         // Dense bit lives in the scratchpad line the PISC just wrote.
         scratchpads_[route->home].recordWrite(1);
+        if (profile::compiledIn() && profiler_ != nullptr)
+            profiler_->onScratchpadAccess(request.addr, 1, true,
+                                          route->home);
     }
     if (request.activates_sparse) {
         // The PISC appends the vertex id via the home core's L1 D-cache.
@@ -679,6 +729,8 @@ OmegaMachine::endIteration()
                            trace::kEngineTid, global_cycles_, "iteration",
                            iteration_);
     }
+    if (profile::compiledIn() && profiler_ != nullptr)
+        profiler_->endPhase(global_cycles_);
     ++iteration_;
     if (recorder_ != nullptr)
         takeSample(SampleKind::Iteration);

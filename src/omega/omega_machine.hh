@@ -91,14 +91,22 @@ class OmegaMachine : public MemorySystem
     }
     std::string debugDump() const override;
 
+    void armProfile() override;
+    AccessProfiler *profiler() override { return profiler_.get(); }
+
   private:
     void countVertexAccess(VertexId vertex);
     void buildStatTree();
     std::vector<CoreIntervalStats> coreIntervals() const;
     void takeSample(SampleKind kind);
-    /** Scratchpad word access from @p core; returns core-visible latency. */
+    /**
+     * Scratchpad word access from @p core; returns core-visible latency.
+     * @param addr byte address of the access (profiler attribution; the
+     *        route carries only vertex/home/line coordinates).
+     */
     Cycles scratchpadAccess(unsigned core, const SpRoute &route,
-                            std::uint32_t bytes, bool write);
+                            std::uint64_t addr, std::uint32_t bytes,
+                            bool write);
     /** Fall back to the regular cache path. */
     void cacheAccess(const MemAccess &access);
     /** Core-executed atomic through the caches (cold vertices). */
@@ -148,6 +156,11 @@ class OmegaMachine : public MemorySystem
     /** Lazily attached "faults" stat group — only armed runs report it,
      *  keeping the unarmed stat tree (and the golden digest) unchanged. */
     std::unique_ptr<StatGroup> fault_group_;
+
+    /** Armed access profiler + its lazily attached "profile" group
+     *  (same arming pattern as the fault campaign). */
+    std::unique_ptr<AccessProfiler> profiler_;
+    std::unique_ptr<StatGroup> profile_group_;
     /** Effective forward-progress budget; 0 disables the watchdog. */
     Cycles watchdog_cycles_ = 0;
     Cycles last_barrier_cycles_ = 0;

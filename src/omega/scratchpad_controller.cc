@@ -124,6 +124,7 @@ ScratchpadController::configure(std::vector<PropSpec> props,
 std::optional<SpRoute>
 ScratchpadController::routeSlow(std::uint64_t addr, unsigned core) const
 {
+    ++slow_lookups_;
     // Last range whose start is <= addr is the only containment
     // candidate (ranges are disjoint and sorted).
     auto it = std::upper_bound(table_.begin(), table_.end(), addr,
@@ -279,6 +280,7 @@ ScratchpadController::reset()
     busy_live_.clear();
     max_busy_ = 0;
     conflicts_ = 0;
+    slow_lookups_ = 0;
     any_demotion_ = false;
     poisoned_.clear();
     demoted_.assign(demoted_.size(), 0);

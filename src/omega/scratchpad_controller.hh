@@ -130,6 +130,15 @@ class ScratchpadController
     unsigned chunkSize() const { return chunk_size_; }
     const std::vector<PropSpec> &props() const { return props_; }
 
+    /**
+     * Monitor lookups that missed the per-core memo and walked the
+     * interval table (counted on the cold path only — memo hits stay a
+     * two-compare inline check). Sequential vtxProp sweeps should keep
+     * this orders of magnitude below the access count; profiling and
+     * tests use it to validate the memo-acceleration claim above.
+     */
+    std::uint64_t slowLookups() const { return slow_lookups_; }
+
     /** @name Same-vertex atomic blocking (paper section V.A). @{ */
     /**
      * Mark an atomic on @p vertex busy until @p until; returns the time
@@ -268,6 +277,8 @@ class ScratchpadController
     std::vector<MonitorRange> table_;
     /** Per-core last-hit indices into table_ (acceleration only). */
     mutable std::vector<std::uint32_t> memo_;
+    /** Interval-table walks (routeSlow() calls); see slowLookups(). */
+    mutable std::uint64_t slow_lookups_ = 0;
     VertexId resident_ = 0;
 
     /** Epoch-stamped busy table: entry valid iff stamp matches epoch. */

@@ -98,6 +98,8 @@ BaselineMachine::configure(const MachineConfig &config)
     config_ = config;
     last_barrier_cycles_ = global_cycles_;
     refreshWatchdog();
+    if (profiler_ != nullptr)
+        profiler_->configure(config);
 }
 
 void
@@ -117,6 +119,35 @@ BaselineMachine::armFaults(const FaultPlan &plan)
     }
     hierarchy_.dram().setFaultInjector(injector_.get());
     refreshWatchdog();
+}
+
+void
+BaselineMachine::armProfile()
+{
+    if (profiler_ == nullptr) {
+        AccessProfiler::Config cfg;
+        cfg.num_cores = params_.num_cores;
+        cfg.l1_lines = params_.l1d.lines();
+        cfg.llc_lines = params_.l2.lines();
+        cfg.llc_sets = hierarchy_.llc().numSets();
+        cfg.line_bytes = params_.l2.line_bytes;
+        profiler_ = std::make_unique<AccessProfiler>(cfg);
+        // Lazy stat registration, like armFaults(): the "profile" group
+        // only exists on armed runs, so the unarmed stat tree — and the
+        // pinned golden digests over it — stays byte-identical.
+        profile_group_ = std::make_unique<StatGroup>("profile");
+        profiler_->attachDramChannels(
+            &hierarchy_.dram().channelBusyCycles(),
+            &hierarchy_.dram().channelRequests());
+        profiler_->addStats(*profile_group_);
+        stats_root_.addChild(profile_group_.get());
+    } else {
+        // Re-arm in place: the stat group holds pointers into the
+        // profiler's counters, so the object's address must not change.
+        profiler_->reset();
+    }
+    profiler_->configure(config_);
+    hierarchy_.setProfiler(profiler_.get());
 }
 
 void
@@ -279,6 +310,8 @@ void
 BaselineMachine::endIteration()
 {
     // Nothing to invalidate on the baseline.
+    if (profile::compiledIn() && profiler_ != nullptr)
+        profiler_->endPhase(global_cycles_);
     ++iteration_;
     if (recorder_ != nullptr)
         takeSample(SampleKind::Iteration);

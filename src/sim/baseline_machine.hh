@@ -60,6 +60,9 @@ class BaselineMachine : public MemorySystem
     }
     std::string debugDump() const override;
 
+    void armProfile() override;
+    AccessProfiler *profiler() override { return profiler_.get(); }
+
   protected:
     /**
      * Derived-machine constructor (GRASP): same hardware, a different
@@ -94,6 +97,11 @@ class BaselineMachine : public MemorySystem
      *  surface to fault, and the coherence hot path stays untouched. */
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<StatGroup> fault_group_;
+
+    /** Armed access profiler (null on the profile-free fast path);
+     *  lazily built with its stat group on the first armProfile(). */
+    std::unique_ptr<AccessProfiler> profiler_;
+    std::unique_ptr<StatGroup> profile_group_;
     /** Effective forward-progress budget; 0 disables the watchdog. */
     Cycles watchdog_cycles_ = 0;
     Cycles last_barrier_cycles_ = 0;

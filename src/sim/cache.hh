@@ -190,6 +190,8 @@ class CacheArray
     const CachePolicy *policy() const { return policy_; }
 
     unsigned lineBytes() const { return line_bytes_; }
+    /** Set index of @p addr — the profiler's contention-heatmap key. */
+    std::uint64_t setIndex(std::uint64_t addr) const { return setOf(addr); }
     std::uint64_t numSets() const { return sets_; }
     unsigned numWays() const { return ways_; }
     std::uint64_t sizeBytes() const

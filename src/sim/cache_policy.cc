@@ -116,4 +116,20 @@ GraspPolicy::promoteOnHit(std::uint64_t line_addr)
     return true;
 }
 
+const char *
+regionName(GraspPolicy::Region r)
+{
+    switch (r) {
+      case GraspPolicy::Region::Hot:
+        return "hot";
+      case GraspPolicy::Region::Warm:
+        return "warm";
+      case GraspPolicy::Region::Cold:
+        return "cold";
+      case GraspPolicy::Region::Other:
+        return "other";
+    }
+    panic("unreachable grasp region class");
+}
+
 } // namespace omega

@@ -167,6 +167,9 @@ class GraspPolicy final : public CachePolicy
     GraspPolicyStats stats_;
 };
 
+/** Lowercase label for a region class ("hot", "warm", "cold", "other"). */
+const char *regionName(GraspPolicy::Region r);
+
 } // namespace omega
 
 #endif // OMEGA_SIM_CACHE_POLICY_HH

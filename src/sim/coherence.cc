@@ -60,6 +60,8 @@ CacheHierarchy::accessSlow(unsigned core, std::uint64_t addr, bool write,
     } else {
         l1res = l1_[core].fillAfterMiss(line_addr);
     }
+    if (profile::compiledIn() && profiler_ != nullptr)
+        profiler_->onL1Access(core, line_addr, l1res.hit);
     if (l1res.hit) {
         ++l1_hits_;
         Cycles latency = params_.l1d.latency;
@@ -117,6 +119,9 @@ CacheHierarchy::accessSlow(unsigned core, std::uint64_t addr, bool write,
 
     ++l2_accesses_;
     CacheAccessResult l2res = l2_.access(line_addr);
+    if (profile::compiledIn() && profiler_ != nullptr)
+        profiler_->onLlcAccess(line_addr, l2res.hit,
+                               l2_.setIndex(line_addr));
     CacheLine *dl = l2res.line;
 
     if (l2res.hit) {

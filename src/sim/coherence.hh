@@ -27,6 +27,7 @@
 #include "sim/crossbar.hh"
 #include "sim/dram.hh"
 #include "sim/params.hh"
+#include "sim/profile.hh"
 #include "sim/stats_report.hh"
 #include "util/stats.hh"
 
@@ -62,10 +63,13 @@ class CacheHierarchy
         // nothing to update. Everything else (misses, write hits needing
         // upgrades or directory writes) takes the out-of-line path.
         omega_assert(core < l1_.size(), "core id out of range");
-        CacheLine *const line = l1_[core].touchHit(l2_.lineAddr(addr));
+        const std::uint64_t line_addr = l2_.lineAddr(addr);
+        CacheLine *const line = l1_[core].touchHit(line_addr);
         if (line && (!write || line->state == LineState::Modified)) {
             ++l1_accesses_;
             ++l1_hits_;
+            if (profile::compiledIn() && profiler_ != nullptr)
+                profiler_->onL1Access(core, line_addr, true);
             return params_.l1d.latency;
         }
         // Miss, or a write hit that must transition state: hand the scan
@@ -87,6 +91,21 @@ class CacheHierarchy
     const Crossbar &xbar() const { return *xbar_; }
     Dram &dram() { return *dram_; }
     const Dram &dram() const { return *dram_; }
+    /** The shared L2 (profiler sizing: sets/lines/line bytes). */
+    const CacheArray &llc() const { return l2_; }
+
+    /**
+     * Arm (or disarm with nullptr) access-profile observation on the
+     * whole hierarchy: L1s, the LLC and the DRAM behind it. Hook sites
+     * are a single null-check when unarmed, so simulated timing — and
+     * the pinned golden digests — are untouched until a profiler is
+     * installed.
+     */
+    void setProfiler(AccessProfiler *profiler)
+    {
+        profiler_ = profiler;
+        dram_->setProfiler(profiler);
+    }
 
     /** Copy hierarchy counters into @p out. */
     void collect(StatsReport &out) const;
@@ -122,6 +141,7 @@ class CacheHierarchy
     std::unique_ptr<Dram> dram_;
     StatGroup xbar_group_{"xbar"};
     StatGroup dram_group_{"dram"};
+    AccessProfiler *profiler_ = nullptr;
 
     std::uint64_t l1_accesses_ = 0;
     std::uint64_t l1_hits_ = 0;

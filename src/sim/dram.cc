@@ -9,6 +9,7 @@
 #include <bit>
 
 #include "sim/fault.hh"
+#include "sim/profile.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
 
@@ -84,6 +85,8 @@ Dram::read(Cycles now, std::uint64_t addr, std::uint32_t bytes,
 {
     ++reads_;
     read_bytes_ += bytes;
+    if (profile::compiledIn() && profiler_ != nullptr)
+        profiler_->onDramRead(addr, bytes);
     const unsigned ch = channelOf(addr);
     const Cycles start = occupy(now, ch, bytes);
     const Cycles transfer =
@@ -110,6 +113,8 @@ Dram::write(Cycles now, std::uint64_t addr, std::uint32_t bytes)
 {
     ++writes_;
     write_bytes_ += bytes;
+    if (profile::compiledIn() && profiler_ != nullptr)
+        profiler_->onDramWrite(addr, bytes);
     const unsigned ch = channelOf(addr);
     const Cycles start = occupy(now, ch, bytes);
     if (trace_pid_ > 0) {

@@ -21,6 +21,7 @@
 
 namespace omega {
 
+class AccessProfiler;
 class FaultInjector;
 
 /** Channel-queued DRAM timing and traffic accounting. */
@@ -102,6 +103,9 @@ class Dram
         fault_inj_ = injector;
     }
 
+    /** Arm (or disarm with nullptr) access-profile observation. */
+    void setProfiler(AccessProfiler *profiler) { profiler_ = profiler; }
+
     /** Register traffic counters and the queue histogram in @p group. */
     void addStats(StatGroup &group) const;
 
@@ -125,6 +129,7 @@ class Dram
     Cycles line_transfer_ = 0;
     int trace_pid_ = 0;
     FaultInjector *fault_inj_ = nullptr;
+    AccessProfiler *profiler_ = nullptr;
     std::vector<Cycles> channel_free_;
     std::vector<Cycles> channel_busy_;
     std::vector<std::uint64_t> channel_requests_;

@@ -24,6 +24,7 @@
 
 namespace omega {
 
+class AccessProfiler;
 class FaultInjector;
 struct FaultPlan;
 class IntervalRecorder;
@@ -180,6 +181,21 @@ class MemorySystem
      * campaign counters) — the body of watchdog diagnostics.
      */
     virtual std::string debugDump() const { return name() + ": no dump"; }
+    /** @} */
+
+    /** @name Access profiling @{ */
+    /**
+     * Arm memory-access profiling (reuse distance, 3C classification,
+     * region/phase attribution — sim/profile.hh). Default: unsupported,
+     * no-op. Machines that support it construct their AccessProfiler
+     * lazily here; re-arming resets the previous profile in place.
+     * Observation only starts once OMEGA_PROFILE is compiled in; arming
+     * under a profile-less build leaves every counter at zero.
+     */
+    virtual void armProfile() {}
+
+    /** The armed profiler, or nullptr when profiling is not armed. */
+    virtual AccessProfiler *profiler() { return nullptr; }
     /** @} */
 
   protected:

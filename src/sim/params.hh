@@ -30,6 +30,9 @@ struct CacheParams
     unsigned ways = 8;
     unsigned line_bytes = 64;
     Cycles latency = 2;
+
+    /** Capacity in lines (shadow-directory / reuse-window sizing). */
+    std::uint64_t lines() const { return size_bytes / line_bytes; }
 };
 
 /** Full machine configuration. */

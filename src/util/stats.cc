@@ -22,6 +22,17 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
     width_ = (hi - lo) / static_cast<double>(buckets);
 }
 
+Histogram
+Histogram::logSpaced(double lo, double hi, std::size_t buckets)
+{
+    omega_assert(lo > 0.0, "log-spaced histogram needs lo > 0");
+    Histogram h(lo, hi, buckets);
+    h.log_ = true;
+    h.log_lo_ = std::log(lo);
+    h.width_ = (std::log(hi) - h.log_lo_) / static_cast<double>(buckets);
+    return h;
+}
+
 void
 Histogram::sample(double v)
 {
@@ -40,7 +51,8 @@ Histogram::sample(double v)
     } else if (v >= hi_) {
         ++overflow_;
     } else {
-        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        auto idx = static_cast<std::size_t>(
+            log_ ? (std::log(v) - log_lo_) / width_ : (v - lo_) / width_);
         if (idx >= buckets_.size())
             idx = buckets_.size() - 1;
         ++buckets_[idx];
@@ -59,8 +71,11 @@ Histogram::quantile(double p) const
         return lo_;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
-        if (seen > target)
-            return lo_ + width_ * (static_cast<double>(i) + 0.5);
+        if (seen > target) {
+            const double mid = static_cast<double>(i) + 0.5;
+            return log_ ? std::exp(log_lo_ + width_ * mid)
+                        : lo_ + width_ * mid;
+        }
     }
     return hi_;
 }

@@ -52,6 +52,14 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t buckets);
 
+    /**
+     * Log-spaced variant: bucket i spans [lo*r^i, lo*r^(i+1)) with
+     * r = (hi/lo)^(1/buckets). Requires 0 < lo < hi. Built for
+     * heavy-tailed distributions — e.g. reuse distances spanning
+     * 1..1e8 — where linear buckets dump every sample into bin 0.
+     */
+    static Histogram logSpaced(double lo, double hi, std::size_t buckets);
+
     /** Record one sample. */
     void sample(double v);
 
@@ -70,10 +78,16 @@ class Histogram
 
     void reset();
 
+    /** True when the buckets are log-spaced (see logSpaced()). */
+    bool logSpacedBuckets() const { return log_; }
+
   private:
     double lo_ = 0.0;
     double hi_ = 1.0;
+    /** Bucket width; in log mode this is the width in log(value) space. */
     double width_ = 1.0;
+    bool log_ = false;
+    double log_lo_ = 0.0;
     std::vector<std::uint64_t> buckets_;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;

@@ -73,6 +73,15 @@ TEST(BenchCliDeathTest, RejectsMissingOperand)
                 "requires an operand");
     EXPECT_EXIT(makeSession({"--faults"}), ::testing::ExitedWithCode(2),
                 "requires an operand");
+    EXPECT_EXIT(makeSession({"--profile"}), ::testing::ExitedWithCode(2),
+                "requires an operand");
+}
+
+TEST(BenchCliDeathTest, RejectsUnwritableProfilePath)
+{
+    EXPECT_EXIT(
+        makeSession({"--profile", "/nonexistent-dir/deep/profile.json"}),
+        ::testing::ExitedWithCode(2), "not writable");
 }
 
 TEST(BenchCliDeathTest, RejectsUnknownFlags)

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Memory-access profiling subsystem: the Fenwick-tree stack-distance
+ * counter against a brute-force LRU-stack oracle, the shadow-directory /
+ * reuse-distance equivalence, 3C classification properties, region and
+ * phase attribution, the log-spaced histogram, and the armed end-to-end
+ * path (counter identities against the hierarchy report plus --profile
+ * document byte-invariance across --jobs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "graph/datasets.hh"
+#include "sim/access.hh"
+#include "sim/machine_registry.hh"
+#include "sim/profile.hh"
+#include "util/stats.hh"
+
+namespace omega {
+namespace {
+
+/** Deterministic 64-bit LCG (no std::rand state leakage across tests). */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint64_t seed) : state_(seed) {}
+    std::uint64_t
+    next()
+    {
+        state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+        return state_ >> 17;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Brute-force Mattson oracle: an explicit LRU stack. The distance of an
+ * access is the number of distinct addresses above it in the stack
+ * (its index from the MRU end), kColdMiss on first touch.
+ */
+class StackOracle
+{
+  public:
+    std::uint64_t
+    record(std::uint64_t addr)
+    {
+        for (std::size_t i = 0; i < stack_.size(); ++i) {
+            if (stack_[i] == addr) {
+                stack_.erase(stack_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                stack_.insert(stack_.begin(), addr);
+                return i;
+            }
+        }
+        stack_.insert(stack_.begin(), addr);
+        return ReuseDistanceCounter::kColdMiss;
+    }
+
+  private:
+    std::vector<std::uint64_t> stack_; // front = MRU
+};
+
+void
+fuzzAgainstOracle(std::uint64_t seed, std::uint64_t pool,
+                  std::size_t accesses)
+{
+    Lcg rng(seed);
+    ReuseDistanceCounter tree;
+    StackOracle oracle;
+    for (std::size_t i = 0; i < accesses; ++i) {
+        const std::uint64_t addr = (rng.next() % pool) * 64;
+        const std::uint64_t want = oracle.record(addr);
+        const std::uint64_t got = tree.record(addr);
+        ASSERT_EQ(got, want) << "access " << i << " addr " << addr;
+    }
+}
+
+TEST(ReuseDistance, MatchesOracleSmallPoolWithCompaction)
+{
+    // 64 live addresses x 10k accesses: the slot counter reaches ~10k
+    // while only 64 slots stay live, forcing many compactions.
+    fuzzAgainstOracle(/*seed=*/1, /*pool=*/64, /*accesses=*/10000);
+}
+
+TEST(ReuseDistance, MatchesOracleMediumPool)
+{
+    fuzzAgainstOracle(/*seed=*/2, /*pool=*/1024, /*accesses=*/10000);
+}
+
+TEST(ReuseDistance, MatchesOracleSkewedStream)
+{
+    // Power-law-ish: 3/4 of accesses hit a 16-address hot set, the rest
+    // spray over 4096 — the shape the profiler sees on natural graphs.
+    Lcg rng(3);
+    ReuseDistanceCounter tree;
+    StackOracle oracle;
+    for (std::size_t i = 0; i < 10000; ++i) {
+        const std::uint64_t pool = (rng.next() % 4 != 0) ? 16 : 4096;
+        const std::uint64_t addr = (rng.next() % pool) * 64;
+        const std::uint64_t want = oracle.record(addr);
+        ASSERT_EQ(tree.record(addr), want) << "access " << i;
+    }
+    EXPECT_GT(tree.uniqueAddrs(), 16u);
+}
+
+TEST(ReuseDistance, HandDrivenDistances)
+{
+    ReuseDistanceCounter c;
+    constexpr std::uint64_t kCold = ReuseDistanceCounter::kColdMiss;
+    EXPECT_EQ(c.record(0x100), kCold);
+    EXPECT_EQ(c.record(0x100), 0u); // immediate re-reference
+    EXPECT_EQ(c.record(0x200), kCold);
+    EXPECT_EQ(c.record(0x300), kCold);
+    EXPECT_EQ(c.record(0x100), 2u); // 0x200, 0x300 in between
+    EXPECT_EQ(c.record(0x200), 2u); // 0x300, 0x100 in between
+    EXPECT_EQ(c.uniqueAddrs(), 3u);
+}
+
+TEST(ShadowDirectory, HitIffReuseDistanceBelowCapacity)
+{
+    // The LRU-stack inclusion property: a fully-associative LRU
+    // directory of capacity C holds an address iff its stack distance is
+    // < C. This ties the two independent implementations together.
+    constexpr std::uint64_t kCap = 32;
+    Lcg rng(4);
+    ShadowDirectory shadow(kCap);
+    StackOracle oracle;
+    for (std::size_t i = 0; i < 8000; ++i) {
+        const std::uint64_t addr = (rng.next() % 128) * 64;
+        const std::uint64_t dist = oracle.record(addr);
+        const bool present = shadow.access(addr);
+        const bool want =
+            dist != ReuseDistanceCounter::kColdMiss && dist < kCap;
+        ASSERT_EQ(present, want) << "access " << i << " dist " << dist;
+        ASSERT_LE(shadow.size(), kCap);
+    }
+}
+
+TEST(ShadowDirectory, ZeroCapacityNeverHits)
+{
+    ShadowDirectory shadow(0);
+    EXPECT_FALSE(shadow.access(0x40));
+    EXPECT_FALSE(shadow.access(0x40));
+    EXPECT_EQ(shadow.size(), 0u);
+}
+
+AccessProfiler::Config
+smallConfig()
+{
+    AccessProfiler::Config cfg;
+    cfg.num_cores = 1;
+    cfg.l1_lines = 16;
+    cfg.llc_lines = 64;
+    cfg.llc_sets = 8;
+    cfg.line_bytes = 64;
+    cfg.num_scratchpads = 2;
+    return cfg;
+}
+
+TEST(ThreeC, FullyAssociativeRealCacheHasZeroConflictMisses)
+{
+    // Drive the LLC hook with hit/miss decided by a fully-associative
+    // LRU of the same capacity as the profiler's shadow. By definition
+    // the shadow can then never hit where the "real" cache missed, so
+    // every miss must classify as compulsory or capacity.
+    AccessProfiler prof(smallConfig());
+    ShadowDirectory real(64); // stands in for a fully-assoc real cache
+    Lcg rng(5);
+    for (std::size_t i = 0; i < 20000; ++i) {
+        const std::uint64_t addr = (rng.next() % 512) * 64;
+        const bool hit = real.access(addr);
+        prof.onLlcAccess(addr, hit, (addr / 64) % 8);
+    }
+    const ThreeCCounts &c = prof.llcCounts();
+    EXPECT_EQ(c.accesses, 20000u);
+    EXPECT_GT(c.misses, 0u);
+    EXPECT_EQ(c.conflict, 0u);
+    EXPECT_EQ(c.compulsory + c.capacity, c.misses);
+}
+
+TEST(ThreeC, ColdCacheAllDistinctAddressesAreCompulsory)
+{
+    AccessProfiler prof(smallConfig());
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        prof.onLlcAccess(i * 64, /*hit=*/false, i % 8);
+        prof.onL1Access(0, i * 64, /*hit=*/false);
+    }
+    EXPECT_EQ(prof.llcCounts().misses, 500u);
+    EXPECT_EQ(prof.llcCounts().compulsory, 500u);
+    EXPECT_EQ(prof.llcCounts().conflict, 0u);
+    EXPECT_EQ(prof.llcCounts().capacity, 0u);
+    EXPECT_EQ(prof.l1Counts().compulsory, 500u);
+    // Every first touch is also a reuse cold miss.
+    EXPECT_EQ(prof.reuseColdMisses(), 500u);
+}
+
+TEST(ThreeC, PrematureEvictionClassifiesAsConflict)
+{
+    AccessProfiler prof(smallConfig());
+    prof.onLlcAccess(0x40, /*hit=*/false, 1); // cold -> compulsory
+    // Re-access immediately but report a real-cache miss: the shadow
+    // still holds the line, so only set placement can explain it.
+    prof.onLlcAccess(0x40, /*hit=*/false, 1);
+    EXPECT_EQ(prof.llcCounts().misses, 2u);
+    EXPECT_EQ(prof.llcCounts().compulsory, 1u);
+    EXPECT_EQ(prof.llcCounts().conflict, 1u);
+    EXPECT_EQ(prof.llcCounts().capacity, 0u);
+}
+
+TEST(ThreeC, PerCoreFirstTouchTracking)
+{
+    // The same line is compulsory once per core (private L1s).
+    AccessProfiler::Config cfg = smallConfig();
+    cfg.num_cores = 2;
+    AccessProfiler prof(cfg);
+    prof.onL1Access(0, 0x40, false);
+    prof.onL1Access(1, 0x40, false);
+    prof.onL1Access(0, 0x40, false); // seen by core 0 already
+    EXPECT_EQ(prof.l1Counts().compulsory, 2u);
+    EXPECT_EQ(prof.l1Counts().misses, 3u);
+}
+
+MachineConfig
+regionConfig()
+{
+    MachineConfig config;
+    config.num_vertices = 100;
+    PropSpec p;
+    p.start_addr = addr_space::kPropBase;
+    p.type_size = 8;
+    p.stride = 8;
+    p.count = 100;
+    config.props.push_back(p);
+    config.dense_active_base = addr_space::kActiveBase;
+    config.sparse_active_base = addr_space::kActiveBase + 1024;
+    config.sparse_counter_addr = addr_space::kActiveBase + 8192;
+    config.hot_boundary = 10; // hot [0,10), warm [10,40), cold [40,100)
+    return config;
+}
+
+TEST(RegionAttribution, BucketsFollowGraspTiersAndAddressSpaces)
+{
+    AccessProfiler prof(smallConfig());
+    prof.configure(regionConfig());
+    const std::uint64_t hot = addr_space::kPropBase + 5 * 8;
+    const std::uint64_t warm = addr_space::kPropBase + 20 * 8;
+    const std::uint64_t cold = addr_space::kPropBase + 50 * 8;
+
+    prof.onLlcAccess(hot, false, 0);
+    prof.onLlcAccess(warm, true, 0);
+    prof.onLlcAccess(cold, false, 0);
+    prof.onLlcAccess(addr_space::kEdgeBase + 4096, false, 0);
+    prof.onLlcAccess(addr_space::kActiveBase + 17, true, 0);
+    prof.onLlcAccess(addr_space::kOtherBase + 64, false, 0);
+
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Hot).llc_accesses, 1u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Hot).llc_misses, 1u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Warm).llc_accesses, 1u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Warm).llc_misses, 0u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Cold).llc_accesses, 1u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Edge).llc_accesses, 1u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Frontier).llc_accesses, 1u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Other).llc_accesses, 1u);
+
+    prof.onDramRead(hot, 64);
+    prof.onDramWrite(addr_space::kEdgeBase, 128);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Hot).dram_read_bytes, 64u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Edge).dram_write_bytes, 128u);
+
+    prof.onScratchpadAccess(hot, 8, /*write=*/false, /*home=*/1);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Hot).sp_accesses, 1u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Hot).sp_bytes, 8u);
+}
+
+TEST(PhaseAttribution, PhasesSplitAtEndPhaseAndFlushOnFinish)
+{
+    AccessProfiler prof(smallConfig());
+    prof.onLlcAccess(0x40, false, 0);
+    prof.onLlcAccess(0x80, false, 0);
+    prof.endPhase(100);
+    prof.onLlcAccess(0xc0, false, 0);
+    prof.endPhase(250);
+    ASSERT_EQ(prof.phases().size(), 2u);
+    EXPECT_EQ(prof.phases()[0].llc_accesses, 2u);
+    EXPECT_EQ(prof.phases()[0].end_cycles, 100u);
+    EXPECT_EQ(prof.phases()[0].first_iteration, 0u);
+    EXPECT_EQ(prof.phases()[1].llc_accesses, 1u);
+    EXPECT_EQ(prof.phases()[1].end_cycles, 250u);
+    EXPECT_EQ(prof.phases()[1].first_iteration, 1u);
+
+    // finishRun with nothing outstanding adds no empty phase...
+    prof.finishRun(300);
+    EXPECT_EQ(prof.phases().size(), 2u);
+    // ...but flushes a trailing partial phase when one is open.
+    prof.onDramRead(0x40, 64);
+    prof.finishRun(400);
+    ASSERT_EQ(prof.phases().size(), 3u);
+    EXPECT_EQ(prof.phases()[2].dram_read_bytes, 64u);
+    EXPECT_EQ(prof.phases()[2].end_cycles, 400u);
+}
+
+TEST(PhaseAttribution, TailIterationsAggregateIntoLastPhase)
+{
+    AccessProfiler prof(smallConfig());
+    for (std::uint64_t i = 0; i < AccessProfiler::kMaxPhases + 40; ++i) {
+        prof.onLlcAccess(0x40 + 64 * i, false, 0);
+        prof.endPhase(100 * (i + 1));
+    }
+    ASSERT_EQ(prof.phases().size(), AccessProfiler::kMaxPhases);
+    const PhaseProfile &tail = prof.phases().back();
+    EXPECT_EQ(tail.last_iteration, AccessProfiler::kMaxPhases + 39);
+    EXPECT_EQ(tail.llc_accesses, 41u); // 1 + the 40 aggregated tails
+    EXPECT_EQ(tail.end_cycles, 100u * (AccessProfiler::kMaxPhases + 40));
+}
+
+TEST(ProfilerReset, ZerosCountersInPlace)
+{
+    AccessProfiler prof(smallConfig());
+    prof.configure(regionConfig());
+    prof.onLlcAccess(addr_space::kPropBase, false, 0);
+    prof.onDramRead(addr_space::kPropBase, 64);
+    prof.endPhase(10);
+    const ThreeCCounts *llc_before = &prof.llcCounts();
+    prof.reset();
+    // Same member addresses (the lazily-registered stat group holds
+    // pointers), every counter zeroed.
+    EXPECT_EQ(&prof.llcCounts(), llc_before);
+    EXPECT_EQ(prof.llcCounts().accesses, 0u);
+    EXPECT_EQ(prof.phases().size(), 0u);
+    EXPECT_EQ(prof.reuseColdMisses(), 0u);
+    EXPECT_EQ(prof.regionCounts(RegionBucket::Hot).llc_accesses, 0u);
+}
+
+TEST(LogHistogram, BucketEdgesAndUnderOverflow)
+{
+    Histogram h = Histogram::logSpaced(1.0, 1e8, 32);
+    EXPECT_TRUE(h.logSpacedBuckets());
+    h.sample(1.0); // exactly lo -> bucket 0
+    h.sample(0.5); // below lo -> underflow (distance-0 reuse lands here)
+    h.sample(1e8); // exactly hi -> overflow by half-open convention
+    h.sample(1e8 - 1);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(31), 1u);
+}
+
+TEST(LogHistogram, QuantileTracksMassAcrossDecades)
+{
+    Histogram h = Histogram::logSpaced(1.0, 1e8, 32);
+    // All mass at ~1000: any quantile must land in 1000's bucket, whose
+    // width is a factor of 1e8^(1/32) ~ 1.78.
+    for (int i = 0; i < 100; ++i)
+        h.sample(1000.0);
+    EXPECT_GT(h.quantile(0.5), 1000.0 / 1.8);
+    EXPECT_LT(h.quantile(0.5), 1000.0 * 1.8);
+    // Mass across decades: quantiles are monotone and ordered.
+    Histogram g = Histogram::logSpaced(1.0, 1e8, 32);
+    for (int i = 0; i < 90; ++i)
+        g.sample(10.0);
+    for (int i = 0; i < 10; ++i)
+        g.sample(1e6);
+    EXPECT_LT(g.quantile(0.5), 100.0);
+    EXPECT_GT(g.quantile(0.95), 1e5);
+    EXPECT_LE(g.quantile(0.5), g.quantile(0.95));
+}
+
+TEST(LogHistogramDeathTest, RejectsNonPositiveLowerBound)
+{
+    EXPECT_DEATH(Histogram::logSpaced(0.0, 1e8, 32), "lo > 0");
+}
+
+// ---------------------------------------------------------------------
+// Armed end-to-end paths (need OMEGA_PROFILE to observe anything).
+// ---------------------------------------------------------------------
+
+TEST(ProfileArmed, CountersMatchHierarchyReport)
+{
+    if (!profile::compiledIn())
+        GTEST_SKIP() << "OMEGA_PROFILE compiled out";
+    const DatasetSpec sd = *findDataset("sd");
+    const Graph &g = bench::datasetGraph(sd);
+    for (const bench::MachineKind kind :
+         {bench::MachineKind::Baseline, bench::MachineKind::Grasp,
+          bench::MachineKind::Omega}) {
+        const std::string name = bench::machineKindName(kind);
+        const MachineParams params = bench::machineFor(kind, sd);
+        auto m = machineEntry(name).make(params);
+        m->armProfile();
+        runAlgorithmOnMachine(AlgorithmKind::PageRank, g, m.get());
+        AccessProfiler *prof = m->profiler();
+        ASSERT_NE(prof, nullptr) << name;
+        prof->finishRun(m->cycles());
+        const StatsReport r = m->report();
+        const ThreeCCounts &llc = prof->llcCounts();
+        EXPECT_GT(llc.accesses, 0u) << name;
+        EXPECT_EQ(llc.accesses, r.l2_accesses) << name;
+        EXPECT_EQ(llc.misses, r.l2_accesses - r.l2_hits) << name;
+        EXPECT_EQ(llc.compulsory + llc.conflict + llc.capacity,
+                  llc.misses)
+            << name;
+        EXPECT_EQ(prof->l1Counts().accesses, r.l1_accesses) << name;
+        const ProfileSummary s = prof->summary();
+        EXPECT_TRUE(s.armed);
+        EXPECT_EQ(s.dram_read_bytes, r.dram_read_bytes) << name;
+        EXPECT_EQ(s.dram_write_bytes, r.dram_write_bytes) << name;
+        EXPECT_EQ(s.sp_accesses, r.sp_accesses) << name;
+        // Phase records cover the whole run exactly once.
+        std::uint64_t phase_llc = 0;
+        for (const PhaseProfile &p : prof->phases())
+            phase_llc += p.llc_accesses;
+        EXPECT_EQ(phase_llc, llc.accesses) << name;
+    }
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** One small profiled sweep; returns the --profile document bytes. */
+std::string
+profiledSweep(unsigned jobs, const std::string &tag)
+{
+    const std::string path =
+        ::testing::TempDir() + "profile_sweep_" + tag + ".json";
+    std::vector<std::string> arg_strings = {"bench", "--profile", path,
+                                            "--jobs",
+                                            std::to_string(jobs)};
+    std::vector<char *> argv;
+    for (std::string &s : arg_strings)
+        argv.push_back(s.data());
+
+    const DatasetSpec sd = *findDataset("sd");
+    {
+        bench::BenchSession session("bench_profile_sweep",
+                                    static_cast<int>(argv.size()),
+                                    argv.data());
+        bench::SweepRunner sweep;
+        sweep.add(sd, AlgorithmKind::PageRank, bench::MachineKind::Baseline);
+        sweep.add(sd, AlgorithmKind::PageRank, bench::MachineKind::Grasp);
+        sweep.run();
+        bench::runOn(sd, AlgorithmKind::PageRank,
+                     bench::MachineKind::Baseline);
+        bench::runOn(sd, AlgorithmKind::PageRank,
+                     bench::MachineKind::Grasp);
+    }
+    const std::string doc = slurp(path);
+    std::remove(path.c_str());
+    return doc;
+}
+
+TEST(ProfileDocument, ByteIdenticalAcrossJobsAndRepeatable)
+{
+    const std::string seq = profiledSweep(1, "seq");
+    const std::string par = profiledSweep(4, "par");
+    const std::string rep = profiledSweep(4, "rep");
+    EXPECT_EQ(seq, par);
+    EXPECT_EQ(par, rep);
+    EXPECT_NE(seq.find("\"profile_compiled_in\""), std::string::npos);
+    EXPECT_NE(seq.find("\"runs\""), std::string::npos);
+    if (profile::compiledIn()) {
+        EXPECT_NE(seq.find("\"reuse_distance\""), std::string::npos);
+        EXPECT_NE(seq.find("\"regions\""), std::string::npos);
+        EXPECT_NE(seq.find("\"phases\""), std::string::npos);
+        EXPECT_NE(seq.find("\"llc_sets\""), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace omega

@@ -102,6 +102,7 @@ usageError(const std::string &bench, const std::string &msg)
     std::fprintf(stderr,
                  "usage: %s [--json <path>] [--trace <path>]"
                  " [--interval <cycles>] [--jobs <n>]"
+                 " [--sim-threads <n>]"
                  " [--faults <key=value,...>] [--profile <path>]"
                  " [bench args...]\n",
                  bench.c_str());
@@ -200,7 +201,8 @@ CompletedRun
 executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
            const std::function<void(MachineParams &)> &tweak, bool want_json,
            bool want_trace, Cycles interval_cycles,
-           const FaultPlan *faults, bool want_profile)
+           const FaultPlan *faults, bool want_profile,
+           unsigned sim_threads)
 {
     const Graph &g = datasetGraph(spec);
     MachineParams params = machineFor(kind, spec);
@@ -225,7 +227,9 @@ executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
     if (want_json)
         m->attachIntervalRecorder(&recorder);
 
-    run.outcome.cycles = runAlgorithmOnMachine(algo, g, m.get());
+    EngineOptions opts;
+    opts.sim_threads = sim_threads;
+    run.outcome.cycles = runAlgorithmOnMachine(algo, g, m.get(), opts);
 
     if (want_json || want_trace)
         m->recordFinalSample();
@@ -299,7 +303,8 @@ runOn(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
                          observe ? session->intervalCycles() : 0,
                          session != nullptr ? session->faultPlan()
                                             : nullptr,
-                         want_profile);
+                         want_profile,
+                         session != nullptr ? session->simThreads() : 1);
     } catch (const WatchdogError &e) {
         if (session != nullptr)
             session->abortSession(e.what()); // flushes partial JSON, exits
@@ -383,6 +388,16 @@ BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
                                             ">= 1");
             }
             jobs_ = static_cast<unsigned>(jobs);
+        } else if (arg == "--sim-threads") {
+            const std::string &tok = operand("--sim-threads");
+            std::uint64_t threads = 0;
+            if (!parseCount(tok, threads) || threads < 1 ||
+                threads > std::numeric_limits<unsigned>::max()) {
+                usageError(bench_name_, "--sim-threads operand '" + tok +
+                                            "' is not a thread count "
+                                            ">= 1");
+            }
+            sim_threads_ = static_cast<unsigned>(threads);
         } else if (arg == "--faults") {
             const std::string &tok = operand("--faults");
             std::string error;
@@ -660,6 +675,7 @@ SweepRunner::run()
     const bool want_profile = session->profileEnabled();
     const Cycles interval = session->intervalCycles();
     const FaultPlan *faults = session->faultPlan();
+    const unsigned sim_threads = session->simThreads();
     std::vector<CompletedRun> results(planned_.size());
     // Workers must not throw across the pool: capture the first watchdog
     // trip and abort (flushing the partial document) on this thread.
@@ -670,7 +686,7 @@ SweepRunner::run()
         try {
             results[i] = executeRun(p.spec, p.algo, p.kind, p.tweak,
                                     want_json, want_trace, interval, faults,
-                                    want_profile);
+                                    want_profile, sim_threads);
         } catch (const WatchdogError &e) {
             std::lock_guard<std::mutex> lock(failure_mutex);
             if (!failure.has_value())

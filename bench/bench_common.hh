@@ -125,6 +125,10 @@ struct CompletedRun
  *                       iteration/final samples are taken);
  *   --jobs <n>          execute SweepRunner-planned runs on up to n
  *                       threads (default 1: fully sequential);
+ *   --sim-threads <n>   intra-run parallelism: script-generation worker
+ *                       threads inside each simulated run (default 1).
+ *                       Simulated results are bit-identical for every
+ *                       value (DESIGN.md "Epoch-scripted parallelism");
  *   --faults <spec>     arm every machine runOn() builds with the fault
  *                       plan parsed from <spec> (see FaultPlan::parse);
  *   --profile <path>    arm access profiling on every machine and write a
@@ -172,6 +176,8 @@ class BenchSession
     const std::vector<std::string> &args() const { return args_; }
     /** Worker threads for SweepRunner (--jobs, >= 1). */
     unsigned jobs() const { return jobs_; }
+    /** Intra-run script-generation threads (--sim-threads, >= 1). */
+    unsigned simThreads() const { return sim_threads_; }
     /** The --faults plan, or nullptr when no campaign is armed. */
     const FaultPlan *faultPlan() const
     {
@@ -227,6 +233,7 @@ class BenchSession
     std::string profile_path_;
     Cycles interval_cycles_ = 0;
     unsigned jobs_ = 1;
+    unsigned sim_threads_ = 1;
     std::optional<FaultPlan> faults_;
     bool aborted_ = false;
     std::string abort_reason_;

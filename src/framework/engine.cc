@@ -42,6 +42,12 @@ Engine::Engine(const Graph &g, PropertyRegistry &props, UpdateFn fn,
     sparse_counter_addr_ =
         sparse_read_base_ +
         (static_cast<std::uint64_t>(n) * 4 + 63) / 64 * 64;
+
+    // Intra-run parallelism: a persistent pool generating per-core op
+    // scripts for the structurally pure phases (scriptedFor). Only the
+    // generation runs on it; the machine itself stays single-threaded.
+    if (mach_ && opts_.sim_threads > 1)
+        script_pool_ = std::make_unique<ThreadPool>(opts_.sim_threads);
 }
 
 void
@@ -49,9 +55,14 @@ Engine::configureMachine(VertexId hot_boundary)
 {
     if (!mach_)
         return;
-    if (hot_boundary == 0) {
-        hot_boundary = static_cast<VertexId>(
-            0.2 * static_cast<double>(g_.numVertices()));
+    if (hot_boundary == 0 && g_.numVertices() > 0) {
+        // The paper's 20% cut. 0.2 * n truncates to 0 for n < 5, which
+        // would silently re-trigger this "default" branch's semantics
+        // downstream (no vertex counts as hot, and a later explicit 0
+        // is indistinguishable from "use the default"): clamp to >= 1.
+        hot_boundary = std::max<VertexId>(
+            1, static_cast<VertexId>(
+                   0.2 * static_cast<double>(g_.numVertices())));
     }
     MachineConfig config = buildMachineConfig(
         g_.numVertices(), props_.specs(), fn_, dense_active_base_,
@@ -67,19 +78,21 @@ Engine::emitStreaming(std::uint64_t base, std::uint64_t bytes, bool write,
     if (!mach_ || bytes == 0)
         return;
     // One line-sized access per 64 B, spread across the cores exactly as
-    // the static schedule would.
+    // the static schedule would. Structurally pure, so it runs scripted.
     const std::uint64_t lines = (bytes + 63) / 64;
-    parallelFor(lines, [&](unsigned core, std::uint64_t i) {
-        MemAccess a;
-        a.core = core;
-        a.op = write ? MemOp::Store : MemOp::Load;
-        a.addr = base + i * 64;
-        a.size = 64;
-        a.cls = cls;
-        a.sequential = true;
-        mach_->memAccess(a);
-        mach_->compute(core, 8);
-    });
+    scriptedFor(
+        lines,
+        [&](ScriptBuilder &b, std::uint64_t i) {
+            if (write) {
+                b.push(EngineOp::store(base + i * 64, 64, cls, 0,
+                                       /*sequential=*/true));
+            } else {
+                b.push(EngineOp::load(base + i * 64, 64, cls, false, 0,
+                                      /*sequential=*/true));
+            }
+            b.push(EngineOp::compute(8));
+        },
+        [](unsigned, std::uint64_t) {});
 }
 
 void

@@ -25,6 +25,8 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "framework/properties.hh"
@@ -33,6 +35,8 @@
 #include "graph/graph.hh"
 #include "sim/memory_system.hh"
 #include "translate/update_fn.hh"
+#include "util/check.hh"
+#include "util/thread_pool.hh"
 
 namespace omega {
 
@@ -65,6 +69,26 @@ struct EngineOptions
      * retiring. 0 disables the watchdog.
      */
     Cycles watchdog_cycles = 0;
+    /**
+     * Simulation worker threads for intra-run parallelism. 1 (the
+     * default) keeps everything on the calling thread. For N > 1 the
+     * engine generates per-core op scripts for structurally pure phases
+     * on a pool of N workers and replays them on the calling thread in
+     * the canonical lowest-clock core order — simulated results are
+     * bit-identical for every value (DESIGN.md "Epoch-scripted
+     * parallelism").
+     */
+    unsigned sim_threads = 1;
+};
+
+/**
+ * Tag type for edgeMap calls with no per-vertex emission hook. Detected
+ * at compile time so a whole edge task's buffered ops can be handed to
+ * the machine as one replayOps() run with no mid-task flush point.
+ */
+struct NoVertexHook
+{
+    void operator()(unsigned, VertexId) const {}
 };
 
 /** What an update lambda did for one edge (drives event emission). */
@@ -242,7 +266,7 @@ class Engine
             bool want_output = true)
     {
         return edgeMap(frontier, std::forward<UpdateF>(update), want_output,
-                       [](unsigned, VertexId) {});
+                       NoVertexHook{});
     }
 
     /**
@@ -280,6 +304,46 @@ class Engine
      */
     template <typename F>
     void parallelFor(std::uint64_t total, F &&f, unsigned chunk = 0);
+
+    /**
+     * Append-only view of one core's op arena, handed to scriptedFor()
+     * generators. hookHere() marks where the item's functional hook runs
+     * during replay (default: after all of the item's ops).
+     */
+    class ScriptBuilder
+    {
+      public:
+        explicit ScriptBuilder(std::vector<EngineOp> &ops) : ops_(ops) {}
+        void push(const EngineOp &op) { ops_.push_back(op); }
+        void hookHere() { hook_ = ops_.size(); }
+        std::uint32_t
+        hookOffset() const
+        {
+            return static_cast<std::uint32_t>(hook_ == kAtEnd ? ops_.size()
+                                                              : hook_);
+        }
+
+      private:
+        static constexpr std::size_t kAtEnd = ~std::size_t{0};
+        std::vector<EngineOp> &ops_;
+        std::size_t hook_ = kAtEnd;
+    };
+
+    /**
+     * Scripted parallel-for over [0, total) for structurally pure
+     * phases: per-item machine ops are *generated* into per-core scripts
+     * — concurrently on the script pool when sim_threads > 1 — then
+     * *replayed* on the calling thread in the canonical lowest-clock
+     * core order, with @p hook(core, index) running the item's
+     * functional work at its hook point. @p gen(builder, index) must be
+     * pure: it may read shared immutable state (graph, layout, subset)
+     * but never machine state, which is what makes the replayed stream —
+     * and therefore the simulated outcome — identical for every worker
+     * count. Ends with a barrier, like parallelFor().
+     */
+    template <typename GenF, typename HookF>
+    void scriptedFor(std::uint64_t total, GenF &&gen, HookF &&hook,
+                     unsigned chunk = 0);
 
     /** @name Simulated address bases (exposed for algorithms/tests). @{ */
     std::uint64_t outOffsetsBase() const { return out_offsets_base_; }
@@ -331,6 +395,70 @@ class Engine
     /** Pick the core with the smallest clock among those with work. */
     unsigned pickCore(const StaticScheduler &sched) const;
 
+    /** One item of a per-core script: ops [begin,end) within the core's
+     *  arena, with the functional hook running at offset hook. */
+    struct ScriptItem
+    {
+        std::uint64_t index = 0;
+        std::uint32_t begin = 0;
+        std::uint32_t hook = 0;
+        std::uint32_t end = 0;
+    };
+
+    /** One core's generated-but-not-yet-replayed script. */
+    struct CoreScript
+    {
+        std::vector<EngineOp> ops;
+        std::vector<ScriptItem> items;
+        /** Next item to replay. */
+        std::size_t head = 0;
+        /** Next global index this core generates (static-chunk order). */
+        std::uint64_t cursor = 0;
+        /** cursor's offset within its chunk (tracked incrementally so
+         *  the per-item hop needs no division). */
+        std::uint32_t chunk_off = 0;
+        bool gen_done = false;
+
+        /** Drop the replayed prefix ahead of an epoch refill, bounding
+         *  the arena at ~one epoch of items. */
+        void
+        compact()
+        {
+            if (head == 0)
+                return;
+            if (head == items.size()) {
+                items.clear();
+                ops.clear();
+            } else {
+                const std::uint32_t base = items[head].begin;
+                ops.erase(ops.begin(), ops.begin() + base);
+                items.erase(items.begin(),
+                            items.begin() +
+                                static_cast<std::ptrdiff_t>(head));
+                for (ScriptItem &it : items) {
+                    it.begin -= base;
+                    it.hook -= base;
+                    it.end -= base;
+                }
+            }
+            head = 0;
+        }
+    };
+
+    /** Items generated ahead per core between epoch barriers (a batching
+     *  knob only — replay order and content cannot depend on it). */
+    static constexpr unsigned kScriptEpochItems = 64;
+
+    /** Flush the buffered ops of the current (impure) edge task. */
+    void
+    flushOps(unsigned core)
+    {
+        if (!op_buf_.empty()) {
+            mach_->replayOps(core, op_buf_);
+            op_buf_.clear();
+        }
+    }
+
     const Graph &g_;
     PropertyRegistry &props_;
     UpdateFn fn_;
@@ -362,8 +490,12 @@ class Engine
     /** Cached per-core clocks for the parallelFor interleave scan. */
     std::vector<Cycles> core_clocks_;
 
-    /** Reused vertexMap access batch (engine methods are serial). */
-    std::vector<MemAccess> vm_batch_;
+    /** Per-core scripts of the scriptedFor phase in flight. */
+    std::vector<CoreScript> scripts_;
+    /** Inline op buffer of the (impure) push-edgeMap path. */
+    std::vector<EngineOp> op_buf_;
+    /** Script-generation workers; null when sim_threads <= 1. */
+    std::unique_ptr<ThreadPool> script_pool_;
 
     /** Reused task-list scratch for edgeMap / edgeMapPullAll. */
     std::vector<EdgeTask> task_scratch_;
@@ -454,6 +586,134 @@ Engine::parallelFor(std::uint64_t total, F &&f, unsigned chunk)
     finishPhase();
 }
 
+template <typename GenF, typename HookF>
+void
+Engine::scriptedFor(std::uint64_t total, GenF &&gen, HookF &&hook,
+                    unsigned chunk)
+{
+    const unsigned k = chunk ? chunk : opts_.chunk_size;
+    if (!mach_) {
+        // Functional mode: hooks only, drained round-robin exactly like
+        // parallelFor (no machine, no scripts, no barrier).
+        StaticScheduler sched(total, num_cores_, k);
+        while (!sched.done()) {
+            for (unsigned c = 0; c < num_cores_; ++c) {
+                if (auto i = sched.next(c))
+                    hook(c, *i);
+            }
+        }
+        return;
+    }
+    omega_check(num_cores_ <= 64,
+                "scripted replay tracks cores in a 64-bit set");
+
+    scripts_.resize(num_cores_);
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        CoreScript &cs = scripts_[c];
+        cs.ops.clear();
+        cs.items.clear();
+        cs.head = 0;
+        cs.cursor = static_cast<std::uint64_t>(c) * k;
+        cs.chunk_off = 0;
+        cs.gen_done = cs.cursor >= total;
+    }
+    // Without workers there is nothing to amortize: generate exactly the
+    // item about to replay (pure lock-step). With workers, batch an
+    // epoch per core so one pool dispatch covers many items.
+    const unsigned target = script_pool_ ? kScriptEpochItems : 1;
+
+    auto generate = [&](unsigned c) {
+        CoreScript &cs = scripts_[c];
+        cs.compact();
+        while (!cs.gen_done && cs.items.size() < target) {
+            ScriptItem item;
+            item.index = cs.cursor;
+            item.begin = static_cast<std::uint32_t>(cs.ops.size());
+            ScriptBuilder b(cs.ops);
+            gen(b, cs.cursor);
+            item.hook = b.hookOffset();
+            item.end = static_cast<std::uint32_t>(cs.ops.size());
+            cs.items.push_back(item);
+            // Advance in StaticScheduler's static-chunk order: walk the
+            // chunk, then hop over the other cores' chunks.
+            if (++cs.chunk_off < k) {
+                ++cs.cursor;
+            } else {
+                cs.chunk_off = 0;
+                cs.cursor +=
+                    1 + static_cast<std::uint64_t>(num_cores_ - 1) * k;
+            }
+            if (cs.cursor >= total)
+                cs.gen_done = true;
+        }
+    };
+
+    // Replay loop. A core is alive while it has pending items or indices
+    // left to generate — the same set whose sched.peek() is true at the
+    // equivalent point of the legacy loop, so the (core, index) replay
+    // sequence is identical to the legacy per-event call sequence.
+    core_clocks_.resize(num_cores_);
+    std::uint64_t alive = 0;
+    for (unsigned c = 0; c < num_cores_; ++c) {
+        core_clocks_[c] = mach_->coreNow(c);
+        if (!scripts_[c].gen_done)
+            alive |= std::uint64_t{1} << c;
+    }
+    while (alive) {
+        // Lowest clock wins; countr_zero keeps ties on the lowest id.
+        std::uint64_t scan = alive;
+        unsigned best = static_cast<unsigned>(std::countr_zero(scan));
+        Cycles best_t = core_clocks_[best];
+        scan &= scan - 1;
+        while (scan) {
+            const unsigned c = static_cast<unsigned>(std::countr_zero(scan));
+            scan &= scan - 1;
+            if (core_clocks_[c] < best_t) {
+                best = c;
+                best_t = core_clocks_[c];
+            }
+        }
+        CoreScript &cs = scripts_[best];
+        if (cs.head == cs.items.size()) {
+            // Epoch refill: top up every alive core below the target,
+            // one pool job per core — jobs touch disjoint CoreScript
+            // slots and read only shared immutable inputs. The picked
+            // core is guaranteed an item afterwards: it is alive with an
+            // empty queue, so its generator has indices left.
+            if (script_pool_) {
+                unsigned jobs = 0;
+                for (std::uint64_t s = alive; s; s &= s - 1) {
+                    const unsigned c =
+                        static_cast<unsigned>(std::countr_zero(s));
+                    CoreScript &other = scripts_[c];
+                    if (other.gen_done ||
+                        other.items.size() - other.head >= target)
+                        continue;
+                    script_pool_->submit([&generate, c] { generate(c); });
+                    ++jobs;
+                }
+                if (jobs)
+                    script_pool_->wait();
+            } else {
+                generate(best);
+            }
+        }
+        const ScriptItem &item = cs.items[cs.head];
+        const EngineOp *ops = cs.ops.data();
+        if (item.hook > item.begin)
+            mach_->replayOps(best,
+                             {ops + item.begin, item.hook - item.begin});
+        hook(best, item.index);
+        if (item.end > item.hook)
+            mach_->replayOps(best, {ops + item.hook, item.end - item.hook});
+        ++cs.head;
+        core_clocks_[best] = mach_->coreNow(best);
+        if (cs.head == cs.items.size() && cs.gen_done)
+            alive &= ~(std::uint64_t{1} << best);
+    }
+    finishPhase();
+}
+
 inline bool
 Engine::markActive(unsigned core, VertexId dst, bool dense_output)
 {
@@ -515,23 +775,50 @@ Engine::processEdgeTask(unsigned core, const EdgeTask &task,
                         bool want_output, bool dense_output,
                         bool sparse_frontier)
 {
+    // Push-direction tasks are impure — op content depends on what the
+    // update lambda did — so they cannot be scripted ahead. Instead the
+    // ops are buffered inline and handed over in whole-task replayOps()
+    // runs: deferral-safe because nothing functional reads machine state
+    // mid-task (the engine consults coreNow() only between tasks), so
+    // the machine event order and the functional order both match the
+    // legacy per-event emission exactly.
     const VertexId u = task.u;
+    const bool sim = mach_ != nullptr;
     if (task.first_segment) {
-        if (sparse_frontier) {
-            emitLoad(core, sparse_read_base_ + 4 * task.frontier_slot, 4,
-                     AccessClass::ActiveList, false, 0,
-                     /*sequential=*/true);
-        } else {
-            emitLoad(core, dense_active_base_ + u, 1,
-                     AccessClass::ActiveList, false, 0,
-                     /*sequential=*/true);
+        if (sim) {
+            if (sparse_frontier) {
+                op_buf_.push_back(EngineOp::load(
+                    sparse_read_base_ + 4 * task.frontier_slot, 4,
+                    AccessClass::ActiveList, false, 0,
+                    /*sequential=*/true));
+            } else {
+                op_buf_.push_back(EngineOp::load(
+                    dense_active_base_ + u, 1, AccessClass::ActiveList,
+                    false, 0, /*sequential=*/true));
+            }
+            op_buf_.push_back(EngineOp::compute(1));
         }
-        emitCompute(core, 1);
-        if (!task.active)
+        if (!task.active) {
+            if (sim)
+                flushOps(core);
             return;
-        emitOffsetsRead(core, u, /*sequential=*/!sparse_frontier);
-        emitCompute(core, opts_.ops_per_vertex);
-        vertex_hook(core, u);
+        }
+        if (sim) {
+            // The offsets pair read (see emitOffsetsRead).
+            op_buf_.push_back(EngineOp::load(
+                out_offsets_base_ + static_cast<std::uint64_t>(u) * 8, 16,
+                AccessClass::EdgeList, false, 0,
+                /*sequential=*/!sparse_frontier));
+            op_buf_.push_back(EngineOp::compute(opts_.ops_per_vertex));
+        }
+        if constexpr (!std::is_same_v<std::decay_t<VertexHookF>,
+                                      NoVertexHook>) {
+            // The hook emits live events of its own: flush so the
+            // buffered prologue stays ahead of them.
+            if (sim)
+                flushOps(core);
+            vertex_hook(core, u);
+        }
     }
 
     const auto nbrs = g_.outNeighbors(u);
@@ -542,33 +829,39 @@ Engine::processEdgeTask(unsigned core, const EdgeTask &task,
     const std::size_t end = task.offset + task.count;
     for (std::size_t i = task.offset; i < end; ++i) {
         const VertexId dst = nbrs[i];
-        emitEdgeRead(core, base + i);
-        if (read_src)
-            emitSrcPropRead(core, u);
+        if (sim) {
+            op_buf_.push_back(EngineOp::load(
+                out_arcs_base_ + (base + i) * edge_entry_bytes_,
+                edge_entry_bytes_, AccessClass::EdgeList, false, 0,
+                /*sequential=*/true));
+            if (read_src) {
+                op_buf_.push_back(EngineOp::srcProp(
+                    u, src_prop_->addrOf(u), src_prop_->typeSize()));
+            }
+        }
 
         const EdgeUpdateResult r = update(core, u, dst, ws[i]);
 
-        if (r.read_dst && atomic_target_) {
-            emitLoad(core, atomic_target_->addrOf(dst),
-                     atomic_target_->typeSize(), AccessClass::VertexProp,
-                     false, dst);
+        if (r.read_dst && atomic_target_ && sim) {
+            op_buf_.push_back(EngineOp::load(
+                atomic_target_->addrOf(dst), atomic_target_->typeSize(),
+                AccessClass::VertexProp, false, dst));
         }
         const bool newly =
             (r.activated && want_output) ? markActive(core, dst, dense_output)
                                          : false;
-        if (r.performed_atomic && atomic_target_ && mach_) {
-            AtomicRequest req;
-            req.core = core;
-            req.vertex = dst;
-            req.addr = atomic_target_->addrOf(dst);
-            req.size = atomic_target_->typeSize();
-            req.operand_bytes = fn_.operand_bytes;
-            req.activates_dense = newly && dense_output;
-            req.activates_sparse = newly && !dense_output;
-            mach_->atomicUpdate(req);
+        if (r.performed_atomic && atomic_target_ && sim) {
+            op_buf_.push_back(EngineOp::atomic(
+                dst, atomic_target_->addrOf(dst),
+                atomic_target_->typeSize(),
+                static_cast<std::uint8_t>(fn_.operand_bytes),
+                newly && dense_output, newly && !dense_output));
         }
-        emitCompute(core, opts_.ops_per_edge);
+        if (sim)
+            op_buf_.push_back(EngineOp::compute(opts_.ops_per_edge));
     }
+    if (sim)
+        flushOps(core);
 }
 
 template <typename UpdateF, typename VertexHookF>
@@ -719,41 +1012,68 @@ Engine::edgeMapPullAll(const PropArrayBase &src_prop,
         }
     }
 
-    auto run_task = [&](unsigned core, const EdgeTask &task) {
+    // Pull tasks are structurally pure: every op depends only on the
+    // graph and the property layout, so the scripts can be generated
+    // ahead of the replay (and concurrently, with sim_threads > 1). The
+    // gathers and the apply are functional-only — running them at the
+    // item hook, after the item's ops, is invisible to both streams: the
+    // legacy order emits nothing between them, and the destination store
+    // is address-only.
+    auto gen_task = [&](ScriptBuilder &b, const EdgeTask &task) {
         const VertexId dst = task.u;
         if (task.first_segment) {
-            emitInOffsetsRead(core, dst);
-            emitCompute(core, opts_.ops_per_vertex);
+            b.push(EngineOp::load(
+                in_offsets_base_ + static_cast<std::uint64_t>(dst) * 8, 16,
+                AccessClass::EdgeList, false, 0, /*sequential=*/true));
+            b.push(EngineOp::compute(opts_.ops_per_vertex));
         }
         const auto nbrs = g_.inNeighbors(dst);
-        const auto ws = g_.inWeights(dst);
         const EdgeId base = g_.inEdgeBase(dst);
         const std::size_t end = task.offset + task.count;
         for (std::size_t i = task.offset; i < end; ++i) {
-            const VertexId src = nbrs[i];
-            emitInEdgeRead(core, base + i);
+            b.push(EngineOp::load(
+                in_arcs_base_ + (base + i) * edge_entry_bytes_,
+                edge_entry_bytes_, AccessClass::EdgeList, false, 0,
+                /*sequential=*/true));
             // The random read stream of pull mode: the source's vtxProp.
-            emitLoad(core, src_prop.addrOf(src), src_prop.typeSize(),
-                     AccessClass::VertexProp, false, src);
-            gather(core, dst, src, ws[i]);
-            emitCompute(core, opts_.ops_per_edge);
+            b.push(EngineOp::load(src_prop.addrOf(nbrs[i]),
+                                  src_prop.typeSize(),
+                                  AccessClass::VertexProp, false, nbrs[i]));
+            b.push(EngineOp::compute(opts_.ops_per_edge));
         }
         if (task.first_segment) {
-            apply(core, dst);
-            emitStore(core, dst_prop.addrOf(dst), dst_prop.typeSize(),
-                      AccessClass::VertexProp, dst, /*sequential=*/true);
+            b.push(EngineOp::store(dst_prop.addrOf(dst),
+                                   dst_prop.typeSize(),
+                                   AccessClass::VertexProp, dst,
+                                   /*sequential=*/true));
         }
     };
+    auto hook_task = [&](unsigned core, const EdgeTask &task) {
+        const VertexId dst = task.u;
+        const auto nbrs = g_.inNeighbors(dst);
+        const auto ws = g_.inWeights(dst);
+        const std::size_t end = task.offset + task.count;
+        for (std::size_t i = task.offset; i < end; ++i)
+            gather(core, dst, nbrs[i], ws[i]);
+        if (task.first_segment)
+            apply(core, dst);
+    };
 
-    parallelFor(tasks.size(), [&](unsigned core, std::uint64_t idx) {
-        run_task(core, tasks[idx]);
-    });
+    scriptedFor(
+        tasks.size(),
+        [&](ScriptBuilder &b, std::uint64_t idx) { gen_task(b, tasks[idx]); },
+        [&](unsigned core, std::uint64_t idx) {
+            hook_task(core, tasks[idx]);
+        });
     if (!extras.empty()) {
         mergeExtraTasks(extras);
-        parallelFor(
+        scriptedFor(
             extras.size(),
+            [&](ScriptBuilder &b, std::uint64_t idx) {
+                gen_task(b, extras[idx]);
+            },
             [&](unsigned core, std::uint64_t idx) {
-                run_task(core, extras[idx]);
+                hook_task(core, extras[idx]);
             },
             /*chunk=*/1);
     }
@@ -765,68 +1085,55 @@ Engine::vertexMap(const VertexSubset &subset, F &&f,
                   const std::vector<const PropArrayBase *> &reads,
                   const std::vector<const PropArrayBase *> &writes)
 {
-    auto apply = [&](unsigned core, VertexId v) {
-        if (!mach_) {
-            f(core, v);
-            return;
+    // vertexMap is structurally pure (op content depends only on the
+    // subset and the property layout), so it runs scripted. The property
+    // reads replay ahead of the hook and the writes + per-vertex compute
+    // after it: f may emit live events of its own (some algorithms do),
+    // and they land between the two replay segments exactly where the
+    // legacy per-event order put them.
+    auto gen_active = [&](ScriptBuilder &b, VertexId v) {
+        for (const auto *p : reads) {
+            b.push(EngineOp::load(p->addrOf(v), p->typeSize(),
+                                  AccessClass::VertexProp, false, v,
+                                  /*sequential=*/true));
         }
-        // The property reads (and separately the writes) are a run of
-        // same-core accesses with nothing in between, so issue each run
-        // through the batch entry point: one virtual call per run. f may
-        // emit its own events (some algorithms do), so the read batch
-        // must go out before it and the write batch after.
-        if (!reads.empty()) {
-            vm_batch_.clear();
-            for (const auto *p : reads) {
-                MemAccess a;
-                a.core = core;
-                a.op = MemOp::Load;
-                a.addr = p->addrOf(v);
-                a.size = p->typeSize();
-                a.cls = AccessClass::VertexProp;
-                a.sequential = true;
-                a.vertex = v;
-                vm_batch_.push_back(a);
-            }
-            mach_->memAccessBatch(vm_batch_);
+        b.hookHere();
+        for (const auto *p : writes) {
+            b.push(EngineOp::store(p->addrOf(v), p->typeSize(),
+                                   AccessClass::VertexProp, v,
+                                   /*sequential=*/true));
         }
-        f(core, v);
-        if (!writes.empty()) {
-            vm_batch_.clear();
-            for (const auto *p : writes) {
-                MemAccess a;
-                a.core = core;
-                a.op = MemOp::Store;
-                a.addr = p->addrOf(v);
-                a.size = p->typeSize();
-                a.cls = AccessClass::VertexProp;
-                a.sequential = true;
-                a.vertex = v;
-                vm_batch_.push_back(a);
-            }
-            mach_->memAccessBatch(vm_batch_);
-        }
-        mach_->compute(core, opts_.ops_per_vertex);
+        b.push(EngineOp::compute(opts_.ops_per_vertex));
     };
 
     if (subset.isDense()) {
         const auto &bits = subset.dense();
-        parallelFor(subset.numVertices(),
-                    [&](unsigned core, std::uint64_t idx) {
-                        const auto v = static_cast<VertexId>(idx);
-                        emitLoad(core, dense_active_base_ + v, 1,
-                                 AccessClass::ActiveList, false, 0,
-                                 /*sequential=*/true);
-                        if (bits[v])
-                            apply(core, v);
-                    });
+        scriptedFor(
+            subset.numVertices(),
+            [&](ScriptBuilder &b, std::uint64_t idx) {
+                const auto v = static_cast<VertexId>(idx);
+                b.push(EngineOp::load(dense_active_base_ + v, 1,
+                                      AccessClass::ActiveList, false, 0,
+                                      /*sequential=*/true));
+                if (bits[v])
+                    gen_active(b, v);
+            },
+            [&](unsigned core, std::uint64_t idx) {
+                const auto v = static_cast<VertexId>(idx);
+                if (bits[v])
+                    f(core, v);
+            });
     } else {
         const auto &ids = subset.sparse();
-        parallelFor(ids.size(), [&](unsigned core, std::uint64_t idx) {
-            emitLoad(core, sparse_read_base_ + 4 * idx, 4,
-                     AccessClass::ActiveList, true);
-            apply(core, ids[idx]);
-        });
+        scriptedFor(
+            ids.size(),
+            [&](ScriptBuilder &b, std::uint64_t idx) {
+                b.push(EngineOp::load(sparse_read_base_ + 4 * idx, 4,
+                                      AccessClass::ActiveList,
+                                      /*blocking=*/true));
+                gen_active(b, ids[idx]);
+            },
+            [&](unsigned core, std::uint64_t idx) { f(core, ids[idx]); });
     }
 }
 

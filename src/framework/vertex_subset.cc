@@ -38,9 +38,21 @@ VertexSubset::fromSparse(VertexId n, std::vector<VertexId> ids)
 {
     VertexSubset s(n);
     s.sparse_ = std::move(ids);
-    s.size_ = static_cast<VertexId>(s.sparse_.size());
-    for ([[maybe_unused]] VertexId v : s.sparse_)
+    // Stable dedup through a membership map: the first occurrence of
+    // each id survives in place, so iteration order is preserved. The
+    // map then doubles as the contains() index.
+    s.lookup_.assign(n, 0);
+    std::size_t live = 0;
+    for (const VertexId v : s.sparse_) {
         omega_assert(v < n, "vertex out of range");
+        if (s.lookup_[v])
+            continue;
+        s.lookup_[v] = 1;
+        s.sparse_[live++] = v;
+    }
+    s.sparse_.resize(live);
+    s.lookup_valid_ = true;
+    s.size_ = static_cast<VertexId>(live);
     return s;
 }
 
@@ -61,7 +73,13 @@ VertexSubset::contains(VertexId v) const
 {
     if (is_dense_)
         return dense_[v] != 0;
-    return std::find(sparse_.begin(), sparse_.end(), v) != sparse_.end();
+    if (!lookup_valid_) {
+        lookup_.assign(n_, 0);
+        for (const VertexId u : sparse_)
+            lookup_[u] = 1;
+        lookup_valid_ = true;
+    }
+    return lookup_[v] != 0;
 }
 
 void
@@ -70,10 +88,18 @@ VertexSubset::toDense()
     if (is_dense_)
         return;
     dense_.assign(n_, 0);
-    for (VertexId v : sparse_)
+    VertexId marked = 0;
+    for (VertexId v : sparse_) {
+        marked += dense_[v] == 0;
         dense_[v] = 1;
+    }
+    // fromSparse dedups, but belt-and-braces for subsets assembled by
+    // other paths: size() must equal the dense popcount from here on.
+    size_ = marked;
     sparse_.clear();
     is_dense_ = true;
+    lookup_.clear();
+    lookup_valid_ = false;
 }
 
 void
@@ -89,6 +115,8 @@ VertexSubset::toSparse()
     }
     dense_.clear();
     is_dense_ = false;
+    lookup_.clear();
+    lookup_valid_ = false;
 }
 
 } // namespace omega

@@ -31,7 +31,13 @@ class VertexSubset
     static VertexSubset single(VertexId n, VertexId v);
     /** All vertices active (dense representation). */
     static VertexSubset all(VertexId n);
-    /** From an explicit id list. */
+    /**
+     * From an explicit id list. Duplicate ids are removed (keeping the
+     * first occurrence, so the caller-visible iteration order of the
+     * surviving ids is unchanged); size() is the deduplicated count and
+     * therefore always agrees with the dense popcount after a
+     * sparse -> dense switch.
+     */
     static VertexSubset fromSparse(VertexId n, std::vector<VertexId> ids);
     /** From a dense byte map (non-zero = active). */
     static VertexSubset fromDense(std::vector<std::uint8_t> map);
@@ -42,7 +48,13 @@ class VertexSubset
     bool empty() const { return size_ == 0; }
     bool isDense() const { return is_dense_; }
 
-    /** Membership test (works in either representation). */
+    /**
+     * Membership test (works in either representation). Sparse subsets
+     * consult a lazily built byte map, so per-edge membership probes are
+     * O(1) instead of a linear scan of the id list. Not safe to call
+     * concurrently from multiple threads on the same sparse subset (the
+     * first call materializes the map).
+     */
     bool contains(VertexId v) const;
 
     /** Convert in place. */
@@ -60,6 +72,9 @@ class VertexSubset
     bool is_dense_ = false;
     std::vector<VertexId> sparse_;
     std::vector<std::uint8_t> dense_;
+    /** Lazily built sparse membership map (see contains()). */
+    mutable std::vector<std::uint8_t> lookup_;
+    mutable bool lookup_valid_ = false;
 };
 
 } // namespace omega

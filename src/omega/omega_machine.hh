@@ -53,6 +53,31 @@ class OmegaMachine : public MemorySystem
         for (const MemAccess &a : accesses)
             OmegaMachine::memAccess(a);
     }
+    void
+    replayOps(unsigned core, std::span<const EngineOp> ops) final
+    {
+        // Scripted delivery: one virtual dispatch per task. Every op
+        // still runs the full routed method (scratchpad / SVB / cache
+        // decisions are per-access), only the dispatch is devirtualized.
+        for (const EngineOp &op : ops) {
+            switch (op.kind) {
+              case EngineOpKind::Compute:
+                OmegaMachine::compute(core, op.arg);
+                break;
+              case EngineOpKind::Load:
+              case EngineOpKind::Store:
+                OmegaMachine::memAccess(op.toMemAccess(core));
+                break;
+              case EngineOpKind::SrcProp:
+                OmegaMachine::readSrcProp(core, op.vertex, op.addr,
+                                          op.arg);
+                break;
+              case EngineOpKind::Atomic:
+                OmegaMachine::atomicUpdate(op.toAtomicRequest(core));
+                break;
+            }
+        }
+    }
     void readSrcProp(unsigned core, VertexId vertex, std::uint64_t addr,
                      std::uint32_t size) override;
     void atomicUpdate(const AtomicRequest &request) override;

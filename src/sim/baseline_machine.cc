@@ -208,6 +208,54 @@ BaselineMachine::memAccess(const MemAccess &access)
 }
 
 void
+BaselineMachine::replayOps(unsigned core, std::span<const EngineOp> ops)
+{
+    // The scripted hot path: one virtual dispatch per task instead of
+    // one per event. Load/Store/SrcProp are memAccess() with the
+    // dispatch peeled off and the window re-check skipped
+    // (issueMemoryPrepared); Atomic falls through to the full method.
+    // GraspMachine inherits this loop unchanged — it only overrides
+    // configure().
+    CoreModel &c = cores_[core];
+    for (const EngineOp &op : ops) {
+        switch (op.kind) {
+          case EngineOpKind::Compute:
+            c.compute(op.arg);
+            break;
+          case EngineOpKind::Load:
+          case EngineOpKind::Store: {
+            if (op.cls == AccessClass::VertexProp)
+                countVertexAccess(op.vertex);
+            const bool blocking = (op.flags & EngineOp::kBlocking) != 0;
+            if (!blocking)
+                c.prepareIssue();
+            const bool prefetched = (op.flags & EngineOp::kSequential) &&
+                                    params_.stream_prefetch;
+            const Cycles lat = hierarchy_.access(
+                core, op.addr, op.kind == EngineOpKind::Store, c.now(),
+                prefetched);
+            if (blocking)
+                c.issueMemory(lat, /*blocking=*/true);
+            else
+                c.issueMemoryPrepared(lat);
+            break;
+          }
+          case EngineOpKind::SrcProp: {
+            countVertexAccess(op.vertex);
+            c.prepareIssue();
+            const Cycles lat =
+                hierarchy_.access(core, op.addr, /*write=*/false, c.now());
+            c.issueMemoryPrepared(lat);
+            break;
+          }
+          case EngineOpKind::Atomic:
+            BaselineMachine::atomicUpdate(op.toAtomicRequest(core));
+            break;
+        }
+    }
+}
+
+void
 BaselineMachine::readSrcProp(unsigned core, VertexId vertex,
                              std::uint64_t addr, std::uint32_t size)
 {

@@ -37,6 +37,7 @@ class BaselineMachine : public MemorySystem
         for (const MemAccess &a : accesses)
             BaselineMachine::memAccess(a);
     }
+    void replayOps(unsigned core, std::span<const EngineOp> ops) final;
     void readSrcProp(unsigned core, VertexId vertex, std::uint64_t addr,
                      std::uint32_t size) override;
     void atomicUpdate(const AtomicRequest &request) override;

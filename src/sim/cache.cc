@@ -34,6 +34,9 @@ CacheArray::CacheArray(std::uint64_t size_bytes, unsigned ways,
     lines_.assign(sets_ * ways_, CacheLine{});
     tags_.assign(sets_ * ways_, kEmptyTag);
     lru_.assign(sets_ * ways_, 0);
+#if defined(__x86_64__)
+    use_avx2_ = ways_ == 8 && __builtin_cpu_supports("avx2");
+#endif
 }
 
 CacheAccessResult

@@ -19,8 +19,13 @@
 #ifndef OMEGA_SIM_CACHE_HH
 #define OMEGA_SIM_CACHE_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "sim/cache_policy.hh"
 #include "sim/params.hh"
@@ -253,11 +258,44 @@ class CacheArray
     findWay(std::uint64_t base, std::uint64_t tag) const
     {
         const std::uint64_t *tags = &tags_[base];
+#if defined(__x86_64__)
+        if (use_avx2_)
+            return findWay8Avx2(tags, tag);
+#endif
         unsigned hit = ways_;
         for (unsigned w = 0; w < ways_; ++w)
             hit = tags[w] == tag ? w : hit;
         return hit;
     }
+
+#if defined(__x86_64__)
+    /**
+     * The 8-way row scan as two 4x64-bit vector compares (the row is one
+     * 64 B host cache line). At most one way can match — kEmptyTag never
+     * equals a real tag — so the combined movemask has at most one bit
+     * set and countr_zero recovers the way index; an empty mask is the
+     * miss. Selected at construction only when the host has AVX2 and the
+     * geometry is exactly 8 ways; result-identical to the scalar select.
+     */
+    __attribute__((target("avx2"))) unsigned
+    findWay8Avx2(const std::uint64_t *tags, std::uint64_t tag) const
+    {
+        const __m256i needle =
+            _mm256_set1_epi64x(static_cast<long long>(tag));
+        const __m256i lo = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags));
+        const __m256i hi = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tags + 4));
+        const unsigned mask =
+            static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpeq_epi64(lo, needle)))) |
+            (static_cast<unsigned>(_mm256_movemask_pd(
+                 _mm256_castsi256_pd(_mm256_cmpeq_epi64(hi, needle))))
+             << 4);
+        return mask != 0 ? static_cast<unsigned>(std::countr_zero(mask))
+                         : 8u;
+    }
+#endif
 
     /** Miss path: victim selection, eviction snapshot, retag. */
     CacheAccessResult missFill(std::uint64_t base, std::uint64_t tag,
@@ -273,6 +311,9 @@ class CacheArray
     /** floor(2^64 / sets_) + 1; used only when !sets_pow2_. */
     std::uint64_t set_magic_ = 0;
     std::uint64_t lru_clock_ = 0;
+    /** Take the AVX2 row scan: exactly 8 ways on an AVX2-capable host
+     *  (decided once at construction; never flips afterwards). */
+    bool use_avx2_ = false;
     /** Optional insertion/promotion policy (GRASP); null = true LRU. */
     CachePolicy *policy_ = nullptr;
     /**

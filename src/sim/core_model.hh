@@ -105,6 +105,24 @@ class CoreModel
         }
     }
 
+    /**
+     * issueMemory() for a non-blocking operation whose caller already
+     * ran prepareIssue() and has pushed nothing since: the window is
+     * known to have a free slot, so the redundant re-check is skipped.
+     * Bit-identical to issueMemory(latency, false, kind) under that
+     * precondition (the second prepareIssue() would be a no-op).
+     */
+    void
+    issueMemoryPrepared(Cycles latency)
+    {
+        if (latency > 1) {
+            const Cycles t = clock_ + latency;
+            inflight_.push_back(t);
+            if (t < oldest_inflight_)
+                oldest_inflight_ = t;
+        }
+    }
+
     /** Charge a fixed pipeline-hold cost (atomic serialization). */
     void serialize(Cycles cost, StallKind kind = StallKind::Atomic);
 

@@ -19,6 +19,7 @@
 
 #include "graph/types.hh"
 #include "sim/access.hh"
+#include "sim/engine_ops.hh"
 #include "sim/params.hh"
 #include "sim/stats_report.hh"
 
@@ -98,6 +99,38 @@ class MemorySystem
     {
         for (const MemAccess &a : accesses)
             memAccess(a);
+    }
+
+    /**
+     * Replay a run of flattened engine ops for one core — the scripted
+     * delivery path (engine_ops.hh): the engine hands a whole task's
+     * events over in one call instead of one virtual dispatch per event.
+     * The run must be consecutive in simulated order with no intervening
+     * machine events, exactly like memAccessBatch(). The default expands
+     * each op into the corresponding virtual call, so wrappers and test
+     * doubles observe the legacy per-event stream unchanged; concrete
+     * machines override it with a devirtualized loop.
+     */
+    virtual void
+    replayOps(unsigned core, std::span<const EngineOp> ops)
+    {
+        for (const EngineOp &op : ops) {
+            switch (op.kind) {
+              case EngineOpKind::Compute:
+                compute(core, op.arg);
+                break;
+              case EngineOpKind::Load:
+              case EngineOpKind::Store:
+                memAccess(op.toMemAccess(core));
+                break;
+              case EngineOpKind::SrcProp:
+                readSrcProp(core, op.vertex, op.addr, op.arg);
+                break;
+              case EngineOpKind::Atomic:
+                atomicUpdate(op.toAtomicRequest(core));
+                break;
+            }
+        }
     }
 
     /**

@@ -208,6 +208,10 @@ defaultFuzzMatrix()
         {FuzzFamily::Disconnected, 109, 320, 8, true},
         {FuzzFamily::SingleVertex, 110, 1, 0, true},
         {FuzzFamily::Empty, 111, 0, 0, true},
+        // Tiny graphs (n < 5): 0.2 * n truncates to zero, exercising the
+        // hot-boundary clamp in Engine::configureMachine.
+        {FuzzFamily::Ring, 112, 3, 1, true},
+        {FuzzFamily::Star, 113, 4, 1, true},
     };
 }
 

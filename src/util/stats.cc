@@ -66,9 +66,17 @@ Histogram::quantile(double p) const
         return 0.0;
     p = std::clamp(p, 0.0, 1.0);
     const auto target = static_cast<std::uint64_t>(p * count_);
+    // p == 1.0 makes target == count_, which no cumulative count can
+    // exceed: the largest observed sample is the exact answer.
+    if (target >= count_)
+        return max_;
     std::uint64_t seen = underflow_;
-    if (seen > target)
-        return lo_;
+    if (seen > target) {
+        // The quantile lands in the underflow mass, which lives at
+        // unknown values below lo_; the observed minimum is the honest
+        // bound (lo_ would overstate it).
+        return min_;
+    }
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
         if (seen > target) {
@@ -77,7 +85,9 @@ Histogram::quantile(double p) const
                         : lo_ + width_ * mid;
         }
     }
-    return hi_;
+    // Remaining mass is overflow (samples >= hi_): report the observed
+    // maximum instead of silently attributing it to hi_.
+    return max_;
 }
 
 void

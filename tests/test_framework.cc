@@ -64,6 +64,48 @@ TEST(VertexSubset, EmptyBehaviour)
     EXPECT_EQ(s.size(), 0u);
 }
 
+TEST(VertexSubset, FromSparseDeduplicatesKeepingOrder)
+{
+    auto s = VertexSubset::fromSparse(10, {5, 1, 5, 9, 1, 5});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.sparse(), (std::vector<VertexId>{5, 1, 9}));
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_TRUE(s.contains(9));
+    EXPECT_FALSE(s.contains(0));
+}
+
+TEST(VertexSubset, SizeAgreesWithDensePopcountAfterSwitch)
+{
+    // Regression: duplicates used to survive fromSparse while toDense
+    // kept the stale sparse count, so size() disagreed with the dense
+    // popcount after a sparse -> dense switch.
+    auto s = VertexSubset::fromSparse(8, {2, 2, 7, 2, 7});
+    EXPECT_EQ(s.size(), 2u);
+    s.toDense();
+    VertexId popcount = 0;
+    for (VertexId v = 0; v < s.numVertices(); ++v)
+        popcount += s.dense()[v] != 0;
+    EXPECT_EQ(s.size(), popcount);
+    EXPECT_EQ(s.size(), 2u);
+    s.toSparse();
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.sparse(), (std::vector<VertexId>{2, 7}));
+}
+
+TEST(VertexSubset, ContainsWorksAcrossConversions)
+{
+    auto s = VertexSubset::fromSparse(64, {3, 17, 40});
+    for (VertexId v = 0; v < 64; ++v)
+        EXPECT_EQ(s.contains(v), v == 3 || v == 17 || v == 40);
+    s.toDense();
+    for (VertexId v = 0; v < 64; ++v)
+        EXPECT_EQ(s.contains(v), v == 3 || v == 17 || v == 40);
+    s.toSparse();
+    for (VertexId v = 0; v < 64; ++v)
+        EXPECT_EQ(s.contains(v), v == 3 || v == 17 || v == 40);
+}
+
 TEST(Scheduler, CoversAllItemsExactlyOnce)
 {
     StaticScheduler sched(103, 4, 8);
@@ -184,6 +226,114 @@ TEST(Engine, DenseSwitchOnLargeFrontier)
             return r;
         });
     EXPECT_TRUE(next.isDense());
+}
+
+TEST(Engine, DuplicateFrontierThroughDenseSwitch)
+{
+    // Regression: a frontier built with duplicate ids used to carry an
+    // inflated size() across the sparse -> dense threshold switch, so
+    // the dense pass disagreed with the deduplicated membership.
+    Rng rng(3);
+    Graph g = buildGraph(1 << 8, generateRmat(8, 8, rng));
+    PropertyRegistry props(g.numVertices());
+    std::vector<VertexId> ids;
+    for (VertexId v = 0; v < g.numVertices(); v += 2) {
+        ids.push_back(v);
+        ids.push_back(v); // every id twice
+    }
+    auto frontier = VertexSubset::fromSparse(g.numVertices(), ids);
+    EXPECT_EQ(frontier.size(), g.numVertices() / 2);
+
+    Engine dup_eng(g, props, bfsUpdateFn(), nullptr);
+    std::uint64_t dup_visits = 0;
+    auto next = dup_eng.edgeMap(
+        std::move(frontier),
+        [&](unsigned, VertexId, VertexId, std::int32_t) {
+            ++dup_visits;
+            EdgeUpdateResult r;
+            r.activated = true;
+            return r;
+        });
+    EXPECT_TRUE(next.isDense());
+
+    // Same frontier without duplicates must see identical edge traffic
+    // and produce the same next frontier.
+    std::vector<VertexId> half;
+    for (VertexId v = 0; v < g.numVertices(); v += 2)
+        half.push_back(v);
+    PropertyRegistry props2(g.numVertices());
+    Engine ref_eng(g, props2, bfsUpdateFn(), nullptr);
+    std::uint64_t ref_visits = 0;
+    auto ref_next = ref_eng.edgeMap(
+        VertexSubset::fromSparse(g.numVertices(), half),
+        [&](unsigned, VertexId, VertexId, std::int32_t) {
+            ++ref_visits;
+            EdgeUpdateResult r;
+            r.activated = true;
+            return r;
+        });
+    EXPECT_EQ(dup_visits, ref_visits);
+    EXPECT_EQ(next.size(), ref_next.size());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(next.contains(v), ref_next.contains(v));
+}
+
+/** Machine stub that records the MachineConfig it was handed. */
+class ConfigCaptureMachine final : public MemorySystem
+{
+  public:
+    ConfigCaptureMachine() : params_(MachineParams::baseline()) {}
+
+    void configure(const MachineConfig &config) override
+    {
+        config_ = config;
+        configured_ = true;
+    }
+    void compute(unsigned, std::uint64_t) override {}
+    void memAccess(const MemAccess &) override {}
+    void readSrcProp(unsigned, VertexId, std::uint64_t,
+                     std::uint32_t) override
+    {
+    }
+    void atomicUpdate(const AtomicRequest &) override {}
+    void barrier() override {}
+    void endIteration() override {}
+    Cycles coreNow(unsigned) const override { return 0; }
+    Cycles cycles() const override { return 0; }
+    StatsReport report() const override { return {}; }
+    const MachineParams &params() const override { return params_; }
+    std::string name() const override { return "config-capture"; }
+
+    MachineConfig config_;
+    bool configured_ = false;
+
+  private:
+    MachineParams params_;
+};
+
+TEST(Engine, HotBoundaryDefaultsClampToAtLeastOne)
+{
+    // 0.2 * n truncates to 0 for n < 5; the default must still mark at
+    // least one vertex hot so an explicit 0 stays distinguishable.
+    for (VertexId n : {1u, 2u, 3u, 4u}) {
+        Graph g = chainGraph(n);
+        PropertyRegistry props(n);
+        ConfigCaptureMachine mach;
+        Engine eng(g, props, pageRankUpdateFn(), &mach);
+        eng.configureMachine();
+        ASSERT_TRUE(mach.configured_);
+        EXPECT_EQ(mach.config_.hot_boundary, 1u) << "n=" << n;
+    }
+    // Above the truncation regime the 20% cut is unchanged.
+    Graph g = chainGraph(100);
+    PropertyRegistry props(100);
+    ConfigCaptureMachine mach;
+    Engine eng(g, props, pageRankUpdateFn(), &mach);
+    eng.configureMachine();
+    EXPECT_EQ(mach.config_.hot_boundary, 20u);
+    // An explicit boundary passes through untouched.
+    eng.configureMachine(7);
+    EXPECT_EQ(mach.config_.hot_boundary, 7u);
 }
 
 TEST(Engine, VertexMapAppliesToSubsetOnly)

@@ -63,9 +63,13 @@ TEST(GoldenDigest, Fig14PageRankSdJsonIsByteIdentical)
     const std::string doc = buf.str();
     ASSERT_FALSE(doc.empty());
 
-    // Captured from the pre-optimization kernel (see CHANGES.md); the
-    // optimized kernel must reproduce the document byte for byte.
-    const std::uint64_t kPinnedDigest = 0x0fb81fd4f4d6f6eeull;
+    // Captured from the pre-optimization kernel (see CHANGES.md) and
+    // re-pinned once when the Histogram::quantile overflow fix changed a
+    // single reporting byte sequence (dram queue_delay p95: 2048 -> 3788,
+    // the honest observed max instead of the silent hi-bound attribution;
+    // every simulated counter was verified byte-identical). The kernel
+    // must reproduce the document byte for byte.
+    const std::uint64_t kPinnedDigest = 0xe1a1f32a1760d2e2ull;
     EXPECT_EQ(fnv1a(doc), kPinnedDigest)
         << "simulated results diverged from the pinned pre-optimization "
            "document ("
@@ -110,7 +114,7 @@ TEST(GoldenDigest, GraspPageRankSdJsonIsByteIdentical)
             runOn(*spec, AlgorithmKind::PageRank, MachineKind::Grasp);
         });
     ASSERT_FALSE(doc.empty());
-    const std::uint64_t kPinnedGraspDigest = 0xf1a2638238fc46c5ull;
+    const std::uint64_t kPinnedGraspDigest = 0x8f99ee1d131be791ull;
     EXPECT_EQ(fnv1a(doc), kPinnedGraspDigest)
         << "grasp document diverged (" << doc.size()
         << " bytes; digest 0x" << std::hex << fnv1a(doc) << ")";
@@ -135,7 +139,7 @@ TEST(GoldenDigest, ExplicitFourChannelTweakReproducesDefaultDocument)
                   four);
         });
     ASSERT_FALSE(doc.empty());
-    EXPECT_EQ(fnv1a(doc), 0x0fb81fd4f4d6f6eeull)
+    EXPECT_EQ(fnv1a(doc), 0xe1a1f32a1760d2e2ull)
         << "explicit 4-channel tweak diverged from the default document ("
         << doc.size() << " bytes; digest 0x" << std::hex << fnv1a(doc)
         << ")";
@@ -154,7 +158,7 @@ TEST(GoldenDigest, SingleChannelBaselineJsonIsByteIdentical)
                   [](MachineParams &p) { p.dram_channels = 1; });
         });
     ASSERT_FALSE(doc.empty());
-    const std::uint64_t kPinnedOneChannelDigest = 0xa0f70011a0cc59d5ull;
+    const std::uint64_t kPinnedOneChannelDigest = 0x516f9cb321ddc5eeull;
     EXPECT_EQ(fnv1a(doc), kPinnedOneChannelDigest)
         << "1-channel document diverged (" << doc.size()
         << " bytes; digest 0x" << std::hex << fnv1a(doc) << ")";

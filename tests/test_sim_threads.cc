@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Determinism of the intra-run parallelism: for every machine and a set
+ * of fuzzed graphs, the full simulated outcome (cycles + the complete
+ * stat tree) must be bit-identical for --sim-threads 1, 2 and 8.
+ *
+ * This is the engine-level contract behind DESIGN.md "Epoch-scripted
+ * parallelism": worker threads only *generate* per-core op scripts for
+ * structurally pure phases, and scripts are pure functions of the graph
+ * and the layout, so the replayed event stream — and with it every
+ * simulated counter — cannot depend on the worker count or on any thread
+ * interleaving. PageRank drives the scripted pull/vertexMap/streaming
+ * paths; BFS drives the buffered push path with dense and sparse
+ * frontiers and atomics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.hh"
+#include "sim/machine_registry.hh"
+#include "testing/fuzz.hh"
+#include "util/json.hh"
+#include "util/stats.hh"
+
+namespace omega {
+namespace {
+
+using testing::FuzzFamily;
+using testing::FuzzSpec;
+
+/** FNV-1a 64-bit over the digest bytes. */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** The fuzzed graphs of the matrix: power law, mesh, maximum skew. */
+std::vector<FuzzSpec>
+graphMatrix()
+{
+    return {
+        {FuzzFamily::Rmat, 7, 256, 8, true},
+        {FuzzFamily::RoadMesh, 11, 225, 4, true},
+        {FuzzFamily::Star, 13, 128, 1, true},
+    };
+}
+
+/** Run algo on a fresh machine and digest (cycles, full stat tree). */
+std::uint64_t
+runDigest(const Graph &g, const std::string &machine, AlgorithmKind algo,
+          unsigned sim_threads)
+{
+    const MachineRegistryEntry &entry = machineEntry(machine);
+    auto m = entry.make(entry.make_params());
+    EngineOptions opts;
+    opts.sim_threads = sim_threads;
+    const Cycles cycles = runAlgorithmOnMachine(algo, g, m.get(), opts);
+
+    std::ostringstream os;
+    os << machine << '|' << cycles << '|';
+    const StatGroup *tree = m->statTree();
+    EXPECT_NE(tree, nullptr) << machine << " has no stat tree";
+    if (tree != nullptr) {
+        JsonWriter w(os, /*pretty=*/false);
+        tree->writeJson(w);
+        EXPECT_TRUE(w.complete());
+    }
+    return fnv1a(os.str());
+}
+
+void
+expectInvariant(AlgorithmKind algo)
+{
+    for (const FuzzSpec &spec : graphMatrix()) {
+        const Graph g = spec.materialize();
+        for (const std::string machine : {"baseline", "grasp", "omega"}) {
+            const std::uint64_t one = runDigest(g, machine, algo, 1);
+            for (const unsigned threads : {2u, 8u}) {
+                EXPECT_EQ(runDigest(g, machine, algo, threads), one)
+                    << algorithmName(algo) << " on " << machine << " / "
+                    << spec.describe() << " diverged at sim_threads="
+                    << threads;
+            }
+        }
+    }
+}
+
+TEST(SimThreads, PageRankDigestIsThreadCountInvariant)
+{
+    // Pull-direction sweep + vertexMaps + streaming: every scripted path.
+    expectInvariant(AlgorithmKind::PageRank);
+}
+
+TEST(SimThreads, BfsDigestIsThreadCountInvariant)
+{
+    // Push edgeMap with frontier switching and atomics: the buffered
+    // path, plus scripted vertexMaps from the frontier bookkeeping.
+    expectInvariant(AlgorithmKind::BFS);
+}
+
+} // namespace
+} // namespace omega

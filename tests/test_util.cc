@@ -148,9 +148,9 @@ TEST(Histogram, QuantileExtremesClampToRange)
     for (int i = 0; i < 100; ++i)
         h.sample(i);
     // p=0 resolves to the first populated bucket's midpoint; p=1 (and
-    // anything beyond, after clamping) to the range's upper bound.
+    // anything beyond, after clamping) to the largest observed sample.
     EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
-    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.0);
     EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
     EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
 }
@@ -160,10 +160,12 @@ TEST(Histogram, QuantileAllUnderflow)
     Histogram h(10.0, 20.0, 5);
     for (int i = 0; i < 4; ++i)
         h.sample(-1.0);
-    // Every sample sits below the range: all mass reports as lo.
-    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
-    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
-    EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+    // Every sample sits below the range: the underflow mass reports the
+    // observed minimum, not lo (which would overstate it by 11).
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), -1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), -1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), -1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), -1.0);
     EXPECT_EQ(h.underflow(), 4u);
 }
 
@@ -172,11 +174,27 @@ TEST(Histogram, QuantileAllOverflow)
     Histogram h(0.0, 10.0, 5);
     for (int i = 0; i < 4; ++i)
         h.sample(99.0);
-    // Every sample sits above the range: all mass reports as hi.
-    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
-    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
-    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+    // Every sample sits above the range: the overflow mass reports the
+    // observed maximum, not hi (which would understate it by 89).
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 99.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 99.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.0);
     EXPECT_EQ(h.overflow(), 4u);
+}
+
+TEST(Histogram, QuantileMixedUnderflowAndOverflow)
+{
+    Histogram h(10.0, 20.0, 5);
+    h.sample(2.0);  // underflow
+    h.sample(3.0);  // underflow
+    h.sample(15.0); // interior
+    h.sample(50.0); // overflow
+    // Quantiles walk min -> buckets -> max as p sweeps the mass.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);  // underflow -> min
+    EXPECT_DOUBLE_EQ(h.quantile(0.3), 2.0);  // still in underflow
+    EXPECT_DOUBLE_EQ(h.quantile(0.6), 15.0); // interior bucket midpoint
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 50.0); // overflow -> max
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
 }
 
 TEST(Histogram, QuantileSingleBucket)
@@ -184,10 +202,41 @@ TEST(Histogram, QuantileSingleBucket)
     Histogram h(0.0, 10.0, 1);
     h.sample(1.0);
     h.sample(9.0);
-    // One bucket: every interior quantile is its midpoint.
+    // One bucket: every interior quantile is its midpoint; p=1 is the
+    // exact observed maximum.
     EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
     EXPECT_DOUBLE_EQ(h.quantile(0.75), 5.0);
-    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.0);
+}
+
+TEST(Histogram, QuantileLogSpacedInterior)
+{
+    // Buckets at decade boundaries: [1,10), [10,100), [100,1000).
+    Histogram h = Histogram::logSpaced(1.0, 1000.0, 3);
+    for (int i = 0; i < 8; ++i)
+        h.sample(5.0);
+    h.sample(50.0);
+    h.sample(500.0);
+    // 80% of the mass is in the first decade; its geometric midpoint is
+    // 10^0.5. The tail quantiles land in the later decades.
+    EXPECT_NEAR(h.quantile(0.5), std::pow(10.0, 0.5), 1e-9);
+    EXPECT_NEAR(h.quantile(0.85), std::pow(10.0, 1.5), 1e-9);
+    EXPECT_NEAR(h.quantile(0.95), std::pow(10.0, 2.5), 1e-9);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 500.0);
+}
+
+TEST(Histogram, QuantileLogSpacedUnderOverflow)
+{
+    Histogram h = Histogram::logSpaced(10.0, 1000.0, 2);
+    h.sample(0.5);    // below lo: underflow
+    h.sample(100.0);  // interior
+    h.sample(5000.0); // above hi: overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);     // underflow -> min
+    EXPECT_NEAR(h.quantile(0.5), std::pow(10.0, 2.5), 1e-9);
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 5000.0);  // overflow -> max
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 5000.0);
 }
 
 TEST(Histogram, ResetClearsEverything)

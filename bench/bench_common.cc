@@ -241,6 +241,25 @@ executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
         }
     }
     run.outcome.stats = m->report();
+    run.outcome.replay = m->replayStats();
+    if (std::getenv("OMEGA_PARALLEL_STATS") != nullptr) {
+        // Diagnostic only (stderr): includes blocking_waits, which is
+        // wall-clock-dependent and therefore banned from every
+        // byte-compared document.
+        const ScriptReplayStats &rs = run.outcome.replay;
+        std::fprintf(stderr,
+                     "[sim-parallel] %s/%s: epochs=%llu items=%llu "
+                     "ops=%llu max_depth=%llu hook_items=%llu "
+                     "blocking_waits=%llu\n",
+                     spec.name.c_str(), machineKindName(kind).c_str(),
+                     static_cast<unsigned long long>(rs.epochs),
+                     static_cast<unsigned long long>(rs.merged_items),
+                     static_cast<unsigned long long>(rs.merged_ops),
+                     static_cast<unsigned long long>(rs.max_queue_depth),
+                     static_cast<unsigned long long>(
+                         rs.concurrent_hook_items),
+                     static_cast<unsigned long long>(rs.blocking_waits));
+    }
     if (want_json) {
         if (const StatGroup *tree = m->statTree()) {
             std::ostringstream os;
@@ -397,7 +416,20 @@ BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
                                             "' is not a thread count "
                                             ">= 1");
             }
+            // Warning-clamp (not an error): results are bit-identical
+            // for every value, so an oversubscribed count could only
+            // time-slice workers for pure overhead. --jobs is NOT
+            // clamped — whole-run workers block on I/O and can
+            // reasonably oversubscribe.
+            const unsigned hw = ThreadPool::hardwareJobs();
+            if (threads > hw) {
+                warn("--sim-threads ", threads,
+                     " exceeds hardware concurrency (", hw,
+                     "); clamping");
+                threads = hw;
+            }
             sim_threads_ = static_cast<unsigned>(threads);
+            sim_threads_given_ = true;
         } else if (arg == "--faults") {
             const std::string &tok = operand("--faults");
             std::string error;
@@ -554,6 +586,21 @@ BenchSession::writeJsonDoc() const
         rec.outcome.stats.writeJson(w);
         w.key("derived");
         writeDerivedJson(w, rec.outcome);
+        if (sim_threads_given_) {
+            // Conditional field (like "faults"): only sessions given an
+            // explicit --sim-threads emit it, so the default layout the
+            // golden digests pin is untouched. blocking_waits is
+            // deliberately absent — it is wall-clock-dependent, and this
+            // object must stay byte-identical across thread counts.
+            const ScriptReplayStats &rs = rec.outcome.replay;
+            w.key("sim_parallel").beginObject();
+            w.field("epochs", rs.epochs);
+            w.field("merged_items", rs.merged_items);
+            w.field("merged_ops", rs.merged_ops);
+            w.field("max_queue_depth", rs.max_queue_depth);
+            w.field("concurrent_hook_items", rs.concurrent_hook_items);
+            w.endObject();
+        }
         if (!rec.stat_tree_json.empty())
             w.key("stat_tree").rawValue(rec.stat_tree_json);
         if (!rec.fault_json.empty())

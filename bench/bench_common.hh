@@ -60,6 +60,11 @@ struct RunOutcome
     /** Headline access-profile numbers (armed profiled runs only;
      *  all-zero with profile.armed == false otherwise). */
     ProfileSummary profile;
+    /** Scripted-replay pipeline counters (sim/engine_ops.hh). Every
+     *  field except blocking_waits is deterministic across sim_threads
+     *  values; blocking_waits is wall-clock-dependent and never
+     *  rendered into byte-compared output. */
+    ScriptReplayStats replay;
 };
 
 /** Build + reorder the canonical instance of @p spec (cached per name). */
@@ -128,7 +133,13 @@ struct CompletedRun
  *   --sim-threads <n>   intra-run parallelism: script-generation worker
  *                       threads inside each simulated run (default 1).
  *                       Simulated results are bit-identical for every
- *                       value (DESIGN.md "Epoch-scripted parallelism");
+ *                       value (DESIGN.md "Epoch-scripted parallelism").
+ *                       Values above the host's hardware concurrency are
+ *                       clamped to it with a warning — extra workers
+ *                       could only time-slice, adding overhead without
+ *                       changing results. Passing the flag (any value)
+ *                       adds a per-run "sim_parallel" counters object to
+ *                       the --json document;
  *   --faults <spec>     arm every machine runOn() builds with the fault
  *                       plan parsed from <spec> (see FaultPlan::parse);
  *   --profile <path>    arm access profiling on every machine and write a
@@ -234,6 +245,10 @@ class BenchSession
     Cycles interval_cycles_ = 0;
     unsigned jobs_ = 1;
     unsigned sim_threads_ = 1;
+    /** An explicit --sim-threads was given: gate for the per-run
+     *  "sim_parallel" JSON object, keeping the default document layout
+     *  (and the pinned golden digests over it) unchanged. */
+    bool sim_threads_given_ = false;
     std::optional<FaultPlan> faults_;
     bool aborted_ = false;
     std::string abort_reason_;

@@ -72,11 +72,13 @@ struct EngineOptions
     /**
      * Simulation worker threads for intra-run parallelism. 1 (the
      * default) keeps everything on the calling thread. For N > 1 the
-     * engine generates per-core op scripts for structurally pure phases
-     * on a pool of N workers and replays them on the calling thread in
-     * the canonical lowest-clock core order — simulated results are
-     * bit-identical for every value (DESIGN.md "Epoch-scripted
-     * parallelism").
+     * engine pipelines structurally pure phases: workers generate each
+     * core's next epoch of op scripts (double-buffered banks, one ticket
+     * per core) — and, for phases that allow it, run the functional
+     * hooks at generation time — while the calling thread replays the
+     * current epoch into the machine in the canonical lowest-clock core
+     * order. Simulated results are bit-identical for every value
+     * (DESIGN.md "Epoch-scripted parallelism").
      */
     unsigned sim_threads = 1;
 };
@@ -279,6 +281,13 @@ class Engine
      * and @p apply once per destination after its edges, with the engine
      * emitting the destination-prop store.
      *
+     * The main (one-task-per-destination) phase runs its gather/apply
+     * hooks at script-generation time — on worker threads with
+     * sim_threads > 1 — so @p gather and @p apply must write only
+     * destination-owned slots and emit no machine events. Hub overflow
+     * segments share destinations, so the extras phase keeps hooks at
+     * the merge.
+     *
      * @param src_prop property read per in-edge (the random stream).
      * @param dst_prop property stored once per destination.
      */
@@ -340,10 +349,20 @@ class Engine
      * but never machine state, which is what makes the replayed stream —
      * and therefore the simulated outcome — identical for every worker
      * count. Ends with a barrier, like parallelFor().
+     *
+     * With @p concurrent_hooks the functional hook additionally runs at
+     * *generation* time — on a worker thread when sim_threads > 1 —
+     * instead of at the merge. Only legal when hooks commute across
+     * cores AND with the machine timing: per-item writes must target
+     * disjoint locations no other item (or the machine) reads during the
+     * phase, and the hook must emit no machine events. edgeMapPullAll's
+     * main gather phase qualifies (each destination vertex is owned by
+     * exactly one item and the source array is frozen); vertexMap does
+     * not (its functor may emit live events through the engine).
      */
     template <typename GenF, typename HookF>
     void scriptedFor(std::uint64_t total, GenF &&gen, HookF &&hook,
-                     unsigned chunk = 0);
+                     unsigned chunk = 0, bool concurrent_hooks = false);
 
     /** @name Simulated address bases (exposed for algorithms/tests). @{ */
     std::uint64_t outOffsetsBase() const { return out_offsets_base_; }
@@ -405,44 +424,47 @@ class Engine
         std::uint32_t end = 0;
     };
 
-    /** One core's generated-but-not-yet-replayed script. */
-    struct CoreScript
+    /** One epoch's worth of generated script for one core. */
+    struct ScriptBank
     {
         std::vector<EngineOp> ops;
         std::vector<ScriptItem> items;
         /** Next item to replay. */
         std::size_t head = 0;
+
+        bool exhausted() const { return head == items.size(); }
+        void
+        clear()
+        {
+            ops.clear();
+            items.clear();
+            head = 0;
+        }
+    };
+
+    /**
+     * One core's script pipeline: a double-buffered pair of epoch banks.
+     * The merge thread replays the front bank while (with sim_threads >
+     * 1) a worker generates the back bank under @c ticket. The generation
+     * cursor fields are written ONLY inside the generator, which runs on
+     * at most one thread at a time; the merge thread reads gen_done only
+     * while no ticket is in flight, with the happens-before edge
+     * established through the pool mutex by the waitTicket() that
+     * cleared the ticket.
+     */
+    struct CoreScript
+    {
+        ScriptBank banks[2];
+        /** Index of the bank being replayed. */
+        unsigned front = 0;
         /** Next global index this core generates (static-chunk order). */
         std::uint64_t cursor = 0;
         /** cursor's offset within its chunk (tracked incrementally so
          *  the per-item hop needs no division). */
         std::uint32_t chunk_off = 0;
         bool gen_done = false;
-
-        /** Drop the replayed prefix ahead of an epoch refill, bounding
-         *  the arena at ~one epoch of items. */
-        void
-        compact()
-        {
-            if (head == 0)
-                return;
-            if (head == items.size()) {
-                items.clear();
-                ops.clear();
-            } else {
-                const std::uint32_t base = items[head].begin;
-                ops.erase(ops.begin(), ops.begin() + base);
-                items.erase(items.begin(),
-                            items.begin() +
-                                static_cast<std::ptrdiff_t>(head));
-                for (ScriptItem &it : items) {
-                    it.begin -= base;
-                    it.hook -= base;
-                    it.end -= base;
-                }
-            }
-            head = 0;
-        }
+        /** In-flight back-bank generation (null when none). */
+        ThreadPool::Ticket ticket;
     };
 
     /** Items generated ahead per core between epoch barriers (a batching
@@ -589,12 +611,13 @@ Engine::parallelFor(std::uint64_t total, F &&f, unsigned chunk)
 template <typename GenF, typename HookF>
 void
 Engine::scriptedFor(std::uint64_t total, GenF &&gen, HookF &&hook,
-                    unsigned chunk)
+                    unsigned chunk, bool concurrent_hooks)
 {
     const unsigned k = chunk ? chunk : opts_.chunk_size;
     if (!mach_) {
         // Functional mode: hooks only, drained round-robin exactly like
-        // parallelFor (no machine, no scripts, no barrier).
+        // parallelFor (no machine, no scripts, no barrier). Each hook
+        // still runs exactly once, so concurrent_hooks is moot here.
         StaticScheduler sched(total, num_cores_, k);
         while (!sched.done()) {
             for (unsigned c = 0; c < num_cores_; ++c) {
@@ -610,30 +633,38 @@ Engine::scriptedFor(std::uint64_t total, GenF &&gen, HookF &&hook,
     scripts_.resize(num_cores_);
     for (unsigned c = 0; c < num_cores_; ++c) {
         CoreScript &cs = scripts_[c];
-        cs.ops.clear();
-        cs.items.clear();
-        cs.head = 0;
+        cs.banks[0].clear();
+        cs.banks[1].clear();
+        cs.front = 0;
         cs.cursor = static_cast<std::uint64_t>(c) * k;
         cs.chunk_off = 0;
         cs.gen_done = cs.cursor >= total;
+        cs.ticket = nullptr;
     }
-    // Without workers there is nothing to amortize: generate exactly the
-    // item about to replay (pure lock-step). With workers, batch an
-    // epoch per core so one pool dispatch covers many items.
-    const unsigned target = script_pool_ ? kScriptEpochItems : 1;
 
-    auto generate = [&](unsigned c) {
+    ScriptReplayStats stats;
+
+    // Fill @p bank with this core's next epoch of items. The bank target
+    // is a pure batching knob: replay order and content are the same for
+    // every value, so serial and pooled modes share it — which also makes
+    // the epoch/queue-depth stats deterministic across sim_threads. On a
+    // worker this lambda owns cs.cursor/chunk_off/gen_done exclusively
+    // (the merge thread reads them only after waitTicket) and must not
+    // touch the shared stats struct.
+    auto generate = [&gen, &hook, this, total, k,
+                     concurrent_hooks](unsigned c, ScriptBank &bank) {
         CoreScript &cs = scripts_[c];
-        cs.compact();
-        while (!cs.gen_done && cs.items.size() < target) {
+        while (!cs.gen_done && bank.items.size() < kScriptEpochItems) {
             ScriptItem item;
             item.index = cs.cursor;
-            item.begin = static_cast<std::uint32_t>(cs.ops.size());
-            ScriptBuilder b(cs.ops);
+            item.begin = static_cast<std::uint32_t>(bank.ops.size());
+            ScriptBuilder b(bank.ops);
             gen(b, cs.cursor);
             item.hook = b.hookOffset();
-            item.end = static_cast<std::uint32_t>(cs.ops.size());
-            cs.items.push_back(item);
+            item.end = static_cast<std::uint32_t>(bank.ops.size());
+            bank.items.push_back(item);
+            if (concurrent_hooks)
+                hook(c, cs.cursor);
             // Advance in StaticScheduler's static-chunk order: walk the
             // chunk, then hop over the other cores' chunks.
             if (++cs.chunk_off < k) {
@@ -648,10 +679,12 @@ Engine::scriptedFor(std::uint64_t total, GenF &&gen, HookF &&hook,
         }
     };
 
-    // Replay loop. A core is alive while it has pending items or indices
-    // left to generate — the same set whose sched.peek() is true at the
+    // A core is alive while it has pending items or indices left to
+    // generate — the same set whose sched.peek() is true at the
     // equivalent point of the legacy loop, so the (core, index) replay
-    // sequence is identical to the legacy per-event call sequence.
+    // sequence is identical to the legacy per-event call sequence. The
+    // mask MUST be computed before any ticket is primed: afterwards
+    // gen_done belongs to the worker.
     core_clocks_.resize(num_cores_);
     std::uint64_t alive = 0;
     for (unsigned c = 0; c < num_cores_; ++c) {
@@ -659,6 +692,21 @@ Engine::scriptedFor(std::uint64_t total, GenF &&gen, HookF &&hook,
         if (!scripts_[c].gen_done)
             alive |= std::uint64_t{1} << c;
     }
+    // Prime the pipeline: every live core's first epoch goes into its
+    // back bank — on workers when pooled, so generation overlaps nothing
+    // yet but the swaps below overlap replay of the previous epoch.
+    for (std::uint64_t s = alive; s; s &= s - 1) {
+        const unsigned c = static_cast<unsigned>(std::countr_zero(s));
+        CoreScript &cs = scripts_[c];
+        ScriptBank &back = cs.banks[cs.front ^ 1];
+        if (script_pool_) {
+            cs.ticket = script_pool_->submitTicketed(
+                [&generate, c, &back] { generate(c, back); });
+        } else {
+            generate(c, back);
+        }
+    }
+
     while (alive) {
         // Lowest clock wins; countr_zero keeps ties on the lowest id.
         std::uint64_t scan = alive;
@@ -674,43 +722,71 @@ Engine::scriptedFor(std::uint64_t total, GenF &&gen, HookF &&hook,
             }
         }
         CoreScript &cs = scripts_[best];
-        if (cs.head == cs.items.size()) {
-            // Epoch refill: top up every alive core below the target,
-            // one pool job per core — jobs touch disjoint CoreScript
-            // slots and read only shared immutable inputs. The picked
-            // core is guaranteed an item afterwards: it is alive with an
-            // empty queue, so its generator has indices left.
+        if (cs.banks[cs.front].exhausted()) {
+            // Epoch swap: retire the drained front bank, promote the
+            // back bank, and (if indices remain) restart generation into
+            // the vacated bank. The promoted bank is never empty: the
+            // core is alive, so either a ticket was in flight or
+            // gen_done was false when the back bank was last filled, and
+            // generate() always produces at least one item.
             if (script_pool_) {
-                unsigned jobs = 0;
-                for (std::uint64_t s = alive; s; s &= s - 1) {
-                    const unsigned c =
-                        static_cast<unsigned>(std::countr_zero(s));
-                    CoreScript &other = scripts_[c];
-                    if (other.gen_done ||
-                        other.items.size() - other.head >= target)
-                        continue;
-                    script_pool_->submit([&generate, c] { generate(c); });
-                    ++jobs;
-                }
-                if (jobs)
-                    script_pool_->wait();
-            } else {
-                generate(best);
+                if (!script_pool_->waitTicket(cs.ticket))
+                    ++stats.blocking_waits;
+                cs.ticket = nullptr;
             }
+            cs.banks[cs.front].clear();
+            cs.front ^= 1;
+            if (!cs.gen_done) {
+                ScriptBank &back = cs.banks[cs.front ^ 1];
+                if (script_pool_) {
+                    cs.ticket = script_pool_->submitTicketed(
+                        [&generate, best, &back] { generate(best, back); });
+                } else {
+                    generate(best, back);
+                }
+            }
+            ++stats.epochs;
+            const std::uint64_t depth = cs.banks[cs.front].items.size();
+            if (depth > stats.max_queue_depth)
+                stats.max_queue_depth = depth;
         }
-        const ScriptItem &item = cs.items[cs.head];
-        const EngineOp *ops = cs.ops.data();
-        if (item.hook > item.begin)
-            mach_->replayOps(best,
-                             {ops + item.begin, item.hook - item.begin});
-        hook(best, item.index);
-        if (item.end > item.hook)
-            mach_->replayOps(best, {ops + item.hook, item.end - item.hook});
-        ++cs.head;
+        ScriptBank &fb = cs.banks[cs.front];
+        const ScriptItem &item = fb.items[fb.head];
+        const EngineOp *ops = fb.ops.data();
+        if (concurrent_hooks) {
+            // Hook already ran at generation time: replay the item's ops
+            // as one run.
+            if (item.end > item.begin)
+                mach_->replayOps(best,
+                                 {ops + item.begin, item.end - item.begin});
+        } else {
+            if (item.hook > item.begin)
+                mach_->replayOps(best,
+                                 {ops + item.begin, item.hook - item.begin});
+            hook(best, item.index);
+            if (item.end > item.hook)
+                mach_->replayOps(best,
+                                 {ops + item.hook, item.end - item.hook});
+        }
+        ++fb.head;
+        ++stats.merged_items;
+        stats.merged_ops += item.end - item.begin;
         core_clocks_[best] = mach_->coreNow(best);
-        if (cs.head == cs.items.size() && cs.gen_done)
+        // Dead only when both banks are spent: front drained, no ticket
+        // in flight, the generator out of indices, AND the back bank
+        // empty — in serial mode the final epoch is generated eagerly at
+        // the preceding swap, so gen_done can be true while the back
+        // bank still holds unreplayed items. The short-circuit order
+        // matters — gen_done and the back bank are only safe to read
+        // once the ticket is known null (cleared by a waitTicket, which
+        // publishes the worker's writes through the pool mutex).
+        if (fb.exhausted() && cs.ticket == nullptr && cs.gen_done &&
+            cs.banks[cs.front ^ 1].exhausted())
             alive &= ~(std::uint64_t{1} << best);
     }
+    if (concurrent_hooks)
+        stats.concurrent_hook_items = stats.merged_items;
+    mach_->accumulateReplayStats(stats);
     finishPhase();
 }
 
@@ -1059,12 +1135,18 @@ Engine::edgeMapPullAll(const PropArrayBase &src_prop,
             apply(core, dst);
     };
 
+    // Main tasks: one per destination vertex, so the hooks touch
+    // disjoint accumulator slots and may run at generation time (on
+    // workers). Each destination's additions still happen in ascending
+    // edge order within its single task, so the floating-point results
+    // are bit-identical to the merge-time order.
     scriptedFor(
         tasks.size(),
         [&](ScriptBuilder &b, std::uint64_t idx) { gen_task(b, tasks[idx]); },
         [&](unsigned core, std::uint64_t idx) {
             hook_task(core, tasks[idx]);
-        });
+        },
+        /*chunk=*/0, /*concurrent_hooks=*/true);
     if (!extras.empty()) {
         mergeExtraTasks(extras);
         scriptedFor(

@@ -29,15 +29,13 @@ OmegaMachine::OmegaMachine(const MachineParams &params)
     const std::uint64_t per_core = params.sp_total_bytes / params.num_cores;
     const std::uint64_t remainder =
         params.sp_total_bytes % params.num_cores;
-    cores_.reserve(params.num_cores);
+    tiles_.reserve(params.num_cores);
     for (unsigned c = 0; c < params.num_cores; ++c) {
-        cores_.emplace_back(params);
+        tiles_.emplace_back(params, params.svb_entries);
         scratchpads_.emplace_back(per_core + (c < remainder ? 1 : 0),
                                   params.sp_latency);
         piscs_.emplace_back();
-        svbs_.emplace_back(params.svb_entries);
     }
-    sparse_append_count_.assign(params.num_cores, 0);
     buildStatTree();
 }
 
@@ -66,20 +64,20 @@ OmegaMachine::buildStatTree()
     stats_root_.addChild(&cache_group_);
     controller_.addStats(controller_group_);
     stats_root_.addChild(&controller_group_);
-    component_groups_.reserve(4 * cores_.size());
+    component_groups_.reserve(4 * tiles_.size());
     const auto attach = [this](const std::string &name) -> StatGroup & {
         component_groups_.push_back(std::make_unique<StatGroup>(name));
         stats_root_.addChild(component_groups_.back().get());
         return *component_groups_.back();
     };
-    for (std::size_t c = 0; c < cores_.size(); ++c)
-        cores_[c].addStats(attach("core" + std::to_string(c)));
+    for (std::size_t c = 0; c < tiles_.size(); ++c)
+        tiles_[c].core.addStats(attach("core" + std::to_string(c)));
     for (std::size_t c = 0; c < scratchpads_.size(); ++c)
         scratchpads_[c].addStats(attach("sp" + std::to_string(c)));
     for (std::size_t c = 0; c < piscs_.size(); ++c)
         piscs_[c].addStats(attach("pisc" + std::to_string(c)));
-    for (std::size_t c = 0; c < svbs_.size(); ++c)
-        svbs_[c].addStats(attach("svb" + std::to_string(c)));
+    for (std::size_t c = 0; c < tiles_.size(); ++c)
+        tiles_[c].svb.addStats(attach("svb" + std::to_string(c)));
 }
 
 void
@@ -89,8 +87,8 @@ OmegaMachine::attachTracing()
     if (s == nullptr)
         return;
     trace_pid_ = s->beginProcess(name());
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
-        cores_[c].setTraceIds(trace_pid_, static_cast<int>(c));
+    for (std::size_t c = 0; c < tiles_.size(); ++c) {
+        tiles_[c].core.setTraceIds(trace_pid_, static_cast<int>(c));
         s->nameThread(static_cast<int>(c), "core" + std::to_string(c));
     }
     for (std::size_t c = 0; c < piscs_.size(); ++c) {
@@ -109,8 +107,9 @@ std::vector<CoreIntervalStats>
 OmegaMachine::coreIntervals() const
 {
     std::vector<CoreIntervalStats> out;
-    out.reserve(cores_.size());
-    for (const auto &core : cores_) {
+    out.reserve(tiles_.size());
+    for (const auto &tile : tiles_) {
+        const CoreModel &core = tile.core;
         out.push_back({core.computeCycles(), core.memStallCycles(),
                        core.atomicStallCycles(), core.syncStallCycles()});
     }
@@ -137,6 +136,7 @@ void
 OmegaMachine::configure(const MachineConfig &config)
 {
     config_ = config;
+    hierarchy_.rebindSpineOwners();
 
     // Scratchpad line: all vtxProp entries of one vertex plus the dense
     // active-list bit (rounded up into one byte).
@@ -235,7 +235,7 @@ OmegaMachine::refreshWatchdog()
 void
 OmegaMachine::compute(unsigned core, std::uint64_t ops)
 {
-    cores_[core].compute(ops);
+    tiles_[core].core.compute(ops);
 }
 
 void
@@ -286,7 +286,7 @@ OmegaMachine::scratchpadAccess(unsigned core, const SpRoute &route,
     Cycles lat = sp.latency() + hierarchy_.xbar().roundTrip() +
                  serialization;
     if (injector_ != nullptr) {
-        lat += hierarchy_.xbar().faultLatency(cores_[core].now(),
+        lat += hierarchy_.xbar().faultLatency(tiles_[core].core.now(),
                                               hierarchy_.xbar().roundTrip());
         if (!write)
             lat += spFaultPenalty(core, route, lat);
@@ -298,12 +298,12 @@ Cycles
 OmegaMachine::spFaultPenalty(unsigned core, const SpRoute &route,
                              Cycles base_latency)
 {
-    const Cycles now = cores_[core].now();
+    const Cycles now = tiles_[core].core.now();
     if (!injector_->spEccError(route.home, route.vertex, now))
         return 0;
     // The corrupted word may have been copied into the reader's SVB; drop
     // that entry so recovery re-fetches instead of serving stale data.
-    svbs_[core].invalidate(route.vertex, route.prop);
+    tiles_[core].svb.invalidate(route.vertex, route.prop);
 
     const FaultPlan &plan = injector_->plan();
     Cycles penalty = 0;
@@ -349,7 +349,7 @@ OmegaMachine::spFaultPenalty(unsigned core, const SpRoute &route,
 void
 OmegaMachine::cacheAccess(const MemAccess &access)
 {
-    CoreModel &core = cores_[access.core];
+    CoreModel &core = tiles_[access.core].core;
     if (!access.blocking)
         core.prepareIssue();
     const bool prefetched =
@@ -367,7 +367,7 @@ OmegaMachine::memAccess(const MemAccess &access)
     if (access.cls == AccessClass::VertexProp) {
         countVertexAccess(access.vertex);
         if (auto route = controller_.route(access.addr, access.core)) {
-            CoreModel &core = cores_[access.core];
+            CoreModel &core = tiles_[access.core].core;
             const Cycles lat =
                 scratchpadAccess(access.core, *route, access.addr,
                                  access.size, access.op == MemOp::Store);
@@ -384,7 +384,7 @@ OmegaMachine::readSrcProp(unsigned core, VertexId vertex,
 {
     countVertexAccess(vertex);
     if (auto route = controller_.route(addr, core)) {
-        CoreModel &cm = cores_[core];
+        CoreModel &cm = tiles_[core].core;
         if (route->home == core) {
             // Local scratchpad read; the buffer only caches remote data.
             scratchpads_[route->home].recordRead(size);
@@ -398,7 +398,7 @@ OmegaMachine::readSrcProp(unsigned core, VertexId vertex,
             cm.issueMemory(lat, false);
             return;
         }
-        if (svbs_[core].lookupAndFill(vertex, route->prop)) {
+        if (tiles_[core].svb.lookupAndFill(vertex, route->prop)) {
             cm.issueMemory(1, false); // served from the core-local buffer
             return;
         }
@@ -421,7 +421,8 @@ OmegaMachine::readSrcProp(unsigned core, VertexId vertex,
 void
 OmegaMachine::coreAtomic(const AtomicRequest &request)
 {
-    CoreModel &core = cores_[request.core];
+    CoreTile &tile = tiles_[request.core];
+    CoreModel &core = tile.core;
     ++atomics_on_core_;
 
     if (auto route = controller_.route(request.addr, request.core)) {
@@ -479,8 +480,7 @@ OmegaMachine::coreAtomic(const AtomicRequest &request)
         a.core = request.core;
         a.op = MemOp::Store;
         a.addr = config_.sparse_active_base +
-                 4 * (sparse_append_count_[request.core]++ *
-                          params_.num_cores +
+                 4 * (tile.sparse_appends++ * params_.num_cores +
                       request.core);
         a.size = 4;
         a.cls = AccessClass::ActiveList;
@@ -558,7 +558,7 @@ OmegaMachine::atomicUpdate(const AtomicRequest &request)
     }
 
     // Offload to the home PISC: fire-and-forget from the core.
-    CoreModel &core = cores_[request.core];
+    CoreModel &core = tiles_[request.core].core;
     core.busy(params_.pisc_send_cycles);
 
     Cycles arrival = core.now();
@@ -619,7 +619,8 @@ OmegaMachine::atomicUpdate(const AtomicRequest &request)
         // The PISC appends the vertex id via the home core's L1 D-cache.
         const std::uint64_t addr =
             config_.sparse_active_base +
-            4 * (sparse_append_count_[route->home]++ * params_.num_cores +
+            4 * (tiles_[route->home].sparse_appends++ *
+                     params_.num_cores +
                  route->home);
         hierarchy_.access(route->home, addr, true, completion);
         pisc.extendBusy(2);
@@ -630,16 +631,16 @@ void
 OmegaMachine::barrier()
 {
     Cycles t = global_cycles_;
-    for (auto &core : cores_) {
-        core.drain();
-        t = std::max(t, core.now());
+    for (auto &tile : tiles_) {
+        tile.core.drain();
+        t = std::max(t, tile.core.now());
     }
     // Offloaded atomics must complete before the next phase reads the
     // updated properties.
     for (const auto &pisc : piscs_)
         t = std::max(t, pisc.lastCompletion());
-    for (auto &core : cores_)
-        core.syncTo(t);
+    for (auto &tile : tiles_)
+        tile.core.syncTo(t);
     global_cycles_ = t;
     // Every core (and PISC) is now at t: busy entries that completed by t
     // can never block a later request, so drop them. Keeps the table
@@ -694,9 +695,9 @@ OmegaMachine::debugDump() const
     os << name() << " state @ cycle " << global_cycles_
        << " (iteration " << iteration_ << ", last barrier "
        << last_barrier_cycles_ << ")\n";
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
-        os << "  core" << c << ": clock=" << cores_[c].now()
-           << " instructions=" << cores_[c].instructions() << "\n";
+    for (std::size_t c = 0; c < tiles_.size(); ++c) {
+        os << "  core" << c << ": clock=" << tiles_[c].core.now()
+           << " instructions=" << tiles_[c].core.instructions() << "\n";
     }
     for (std::size_t c = 0; c < piscs_.size(); ++c) {
         os << "  pisc" << c << ": ops=" << piscs_[c].ops()
@@ -722,8 +723,8 @@ OmegaMachine::debugDump() const
 void
 OmegaMachine::endIteration()
 {
-    for (auto &svb : svbs_)
-        svb.invalidateAll();
+    for (auto &tile : tiles_)
+        tile.svb.invalidateAll();
     if (trace_pid_ > 0) {
         trace::emitInstant("svb.invalidate_all", "svb", trace_pid_,
                            trace::kEngineTid, global_cycles_, "iteration",
@@ -746,7 +747,7 @@ OmegaMachine::recordFinalSample()
 Cycles
 OmegaMachine::coreNow(unsigned core) const
 {
-    return cores_[core].now();
+    return tiles_[core].core.now();
 }
 
 Cycles
@@ -761,7 +762,8 @@ OmegaMachine::report() const
     StatsReport r;
     r.cycles = global_cycles_;
     hierarchy_.collect(r);
-    for (const auto &core : cores_) {
+    for (const auto &tile : tiles_) {
+        const CoreModel &core = tile.core;
         r.instructions += core.instructions();
         r.compute_cycles += core.computeCycles();
         r.mem_stall_cycles += core.memStallCycles();
@@ -777,9 +779,9 @@ OmegaMachine::report() const
             std::max<std::uint64_t>(r.pisc_max_busy_cycles,
                                     pisc.busyCycles());
     }
-    for (const auto &svb : svbs_) {
-        r.svb_hits += svb.hits();
-        r.svb_misses += svb.misses();
+    for (const auto &tile : tiles_) {
+        r.svb_hits += tile.svb.hits();
+        r.svb_misses += tile.svb.misses();
     }
     r.sp_local = sp_local_;
     r.sp_remote = sp_remote_;

@@ -30,13 +30,29 @@
 #include "omega/scratchpad_controller.hh"
 #include "omega/source_vertex_buffer.hh"
 #include "sim/coherence.hh"
-#include "sim/core_model.hh"
 #include "sim/fault.hh"
 #include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
+#include "sim/tile.hh"
 #include "util/stats.hh"
 
 namespace omega {
+
+/**
+ * OMEGA's per-core tile: the common private state plus the core's
+ * source-vertex buffer (only the owning core reads and fills it). The
+ * scratchpads and PISCs stay OFF the tile: they are home-indexed and
+ * reached by every core through the controller, i.e. shared spine.
+ */
+struct OmegaCoreTile : CoreTile
+{
+    OmegaCoreTile(const MachineParams &params, unsigned svb_entries)
+        : CoreTile(params), svb(svb_entries)
+    {
+    }
+
+    SourceVertexBuffer svb;
+};
 
 /** OMEGA node (paper Fig 6 right side). */
 class OmegaMachine : public MemorySystem
@@ -167,10 +183,11 @@ class OmegaMachine : public MemorySystem
     MachineParams params_;
     MachineConfig config_;
     CacheHierarchy hierarchy_;
-    std::vector<CoreModel> cores_;
+    /** Core-private tiles (core model, SVB, sparse-append counter). */
+    std::vector<OmegaCoreTile> tiles_;
+    /** Home-indexed shared spine components (reached cross-core). */
     std::vector<Scratchpad> scratchpads_;
     std::vector<Pisc> piscs_;
-    std::vector<SourceVertexBuffer> svbs_;
     ScratchpadController controller_;
     Cycles global_cycles_ = 0;
     std::uint64_t iteration_ = 0;
@@ -197,7 +214,6 @@ class OmegaMachine : public MemorySystem
     std::uint64_t sp_remote_ = 0;
     std::uint64_t vtxprop_accesses_ = 0;
     std::uint64_t vtxprop_hot_accesses_ = 0;
-    std::vector<std::uint64_t> sparse_append_count_;
 
     /** Stat tree: root -> {machine counters, cache.*, coreN.*, spN.*,
      *  piscN.*, svbN.*, controller.*}. */

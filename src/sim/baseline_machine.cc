@@ -23,10 +23,9 @@ BaselineMachine::BaselineMachine(const MachineParams &params,
     : params_(params), hierarchy_(params), name_(std::move(name)),
       stats_root_(name_)
 {
-    cores_.reserve(params.num_cores);
+    tiles_.reserve(params.num_cores);
     for (unsigned c = 0; c < params.num_cores; ++c)
-        cores_.emplace_back(params);
-    sparse_append_count_.assign(params.num_cores, 0);
+        tiles_.emplace_back(params);
     buildStatTree();
 }
 
@@ -45,11 +44,11 @@ BaselineMachine::buildStatTree()
                           "vtxProp touches on hot vertices");
     hierarchy_.addStats(cache_group_);
     stats_root_.addChild(&cache_group_);
-    core_groups_.reserve(cores_.size());
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
+    core_groups_.reserve(tiles_.size());
+    for (std::size_t c = 0; c < tiles_.size(); ++c) {
         core_groups_.push_back(std::make_unique<StatGroup>(
             "core" + std::to_string(c)));
-        cores_[c].addStats(*core_groups_.back());
+        tiles_[c].core.addStats(*core_groups_.back());
         stats_root_.addChild(core_groups_.back().get());
     }
 }
@@ -61,8 +60,8 @@ BaselineMachine::attachTracing()
     if (s == nullptr)
         return;
     trace_pid_ = s->beginProcess(name());
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
-        cores_[c].setTraceIds(trace_pid_, static_cast<int>(c));
+    for (std::size_t c = 0; c < tiles_.size(); ++c) {
+        tiles_[c].core.setTraceIds(trace_pid_, static_cast<int>(c));
         s->nameThread(static_cast<int>(c), "core" + std::to_string(c));
     }
     hierarchy_.dram().setTracePid(trace_pid_);
@@ -77,8 +76,9 @@ std::vector<CoreIntervalStats>
 BaselineMachine::coreIntervals() const
 {
     std::vector<CoreIntervalStats> out;
-    out.reserve(cores_.size());
-    for (const auto &core : cores_) {
+    out.reserve(tiles_.size());
+    for (const auto &tile : tiles_) {
+        const CoreModel &core = tile.core;
         out.push_back({core.computeCycles(), core.memStallCycles(),
                        core.atomicStallCycles(), core.syncStallCycles()});
     }
@@ -96,6 +96,7 @@ void
 BaselineMachine::configure(const MachineConfig &config)
 {
     config_ = config;
+    hierarchy_.rebindSpineOwners();
     last_barrier_cycles_ = global_cycles_;
     refreshWatchdog();
     if (profiler_ != nullptr)
@@ -167,9 +168,9 @@ BaselineMachine::debugDump() const
     os << name() << " state @ cycle " << global_cycles_
        << " (iteration " << iteration_ << ", last barrier "
        << last_barrier_cycles_ << ")\n";
-    for (std::size_t c = 0; c < cores_.size(); ++c) {
-        os << "  core" << c << ": clock=" << cores_[c].now()
-           << " instructions=" << cores_[c].instructions() << "\n";
+    for (std::size_t c = 0; c < tiles_.size(); ++c) {
+        os << "  core" << c << ": clock=" << tiles_[c].core.now()
+           << " instructions=" << tiles_[c].core.instructions() << "\n";
     }
     if (injector_ != nullptr)
         os << "  " << injector_->summary() << "\n";
@@ -179,7 +180,7 @@ BaselineMachine::debugDump() const
 void
 BaselineMachine::compute(unsigned core, std::uint64_t ops)
 {
-    cores_[core].compute(ops);
+    tiles_[core].core.compute(ops);
 }
 
 void
@@ -193,7 +194,7 @@ BaselineMachine::countVertexAccess(VertexId vertex)
 void
 BaselineMachine::memAccess(const MemAccess &access)
 {
-    CoreModel &core = cores_[access.core];
+    CoreModel &core = tiles_[access.core].core;
     if (access.cls == AccessClass::VertexProp)
         countVertexAccess(access.vertex);
     if (!access.blocking)
@@ -216,7 +217,7 @@ BaselineMachine::replayOps(unsigned core, std::span<const EngineOp> ops)
     // (issueMemoryPrepared); Atomic falls through to the full method.
     // GraspMachine inherits this loop unchanged — it only overrides
     // configure().
-    CoreModel &c = cores_[core];
+    CoreModel &c = tiles_[core].core;
     for (const EngineOp &op : ops) {
         switch (op.kind) {
           case EngineOpKind::Compute:
@@ -273,7 +274,8 @@ BaselineMachine::readSrcProp(unsigned core, VertexId vertex,
 void
 BaselineMachine::atomicUpdate(const AtomicRequest &request)
 {
-    CoreModel &core = cores_[request.core];
+    CoreTile &tile = tiles_[request.core];
+    CoreModel &core = tile.core;
     ++atomics_total_;
     countVertexAccess(request.vertex);
 
@@ -319,8 +321,7 @@ BaselineMachine::atomicUpdate(const AtomicRequest &request)
         a.core = request.core;
         a.op = MemOp::Store;
         a.addr = config_.sparse_active_base +
-                 4 * (sparse_append_count_[request.core]++ *
-                          params_.num_cores +
+                 4 * (tile.sparse_appends++ * params_.num_cores +
                       request.core);
         a.size = 4;
         a.cls = AccessClass::ActiveList;
@@ -333,12 +334,12 @@ void
 BaselineMachine::barrier()
 {
     Cycles t = global_cycles_;
-    for (auto &core : cores_) {
-        core.drain();
-        t = std::max(t, core.now());
+    for (auto &tile : tiles_) {
+        tile.core.drain();
+        t = std::max(t, tile.core.now());
     }
-    for (auto &core : cores_)
-        core.syncTo(t);
+    for (auto &tile : tiles_)
+        tile.core.syncTo(t);
     global_cycles_ = t;
     if (watchdog_cycles_ != 0 &&
         t - last_barrier_cycles_ > watchdog_cycles_) {
@@ -375,7 +376,7 @@ BaselineMachine::recordFinalSample()
 Cycles
 BaselineMachine::coreNow(unsigned core) const
 {
-    return cores_[core].now();
+    return tiles_[core].core.now();
 }
 
 Cycles
@@ -390,7 +391,8 @@ BaselineMachine::report() const
     StatsReport r;
     r.cycles = global_cycles_;
     hierarchy_.collect(r);
-    for (const auto &core : cores_) {
+    for (const auto &tile : tiles_) {
+        const CoreModel &core = tile.core;
         r.instructions += core.instructions();
         r.compute_cycles += core.computeCycles();
         r.mem_stall_cycles += core.memStallCycles();

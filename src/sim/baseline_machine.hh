@@ -10,10 +10,10 @@
 #include <vector>
 
 #include "sim/coherence.hh"
-#include "sim/core_model.hh"
 #include "sim/fault.hh"
 #include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
+#include "sim/tile.hh"
 #include "util/stats.hh"
 
 namespace omega {
@@ -87,7 +87,9 @@ class BaselineMachine : public MemorySystem
     std::vector<CoreIntervalStats> coreIntervals() const;
     void takeSample(SampleKind kind);
     void refreshWatchdog();
-    std::vector<CoreModel> cores_;
+    /** Core-private tiles; everything cross-core lives in hierarchy_
+     *  (the shared spine — see sim/tile.hh). */
+    std::vector<CoreTile> tiles_;
     Cycles global_cycles_ = 0;
     std::uint64_t iteration_ = 0;
     int trace_pid_ = 0;
@@ -110,8 +112,6 @@ class BaselineMachine : public MemorySystem
     std::uint64_t atomics_total_ = 0;
     std::uint64_t vtxprop_accesses_ = 0;
     std::uint64_t vtxprop_hot_accesses_ = 0;
-    /** Sparse active-list appends per core (address generation). */
-    std::vector<std::uint64_t> sparse_append_count_;
 
     StatGroup cache_group_{"cache"};
     std::vector<std::unique_ptr<StatGroup>> core_groups_;

@@ -29,6 +29,7 @@
 
 #include "sim/cache_policy.hh"
 #include "sim/params.hh"
+#include "sim/spine.hh"
 #include "util/check.hh"
 
 namespace omega {
@@ -113,6 +114,7 @@ class CacheArray
     CacheLine *
     touchHit(std::uint64_t addr)
     {
+        spine_owner_.assertOwned();
         const std::uint64_t tag = addr >> line_shift_;
         const std::uint64_t base = baseIndex(tag);
         const unsigned w = findWay(base, tag);
@@ -134,6 +136,7 @@ class CacheArray
     CacheAccessResult
     access(std::uint64_t addr)
     {
+        spine_owner_.assertOwned();
         const std::uint64_t tag = addr >> line_shift_;
         const std::uint64_t base = baseIndex(tag);
 
@@ -170,6 +173,7 @@ class CacheArray
     CacheAccessResult
     fillAfterMiss(std::uint64_t addr)
     {
+        spine_owner_.assertOwned();
         const std::uint64_t tag = addr >> line_shift_;
         const std::uint64_t base = baseIndex(tag);
         if constexpr (kInvariantChecksEnabled) {
@@ -206,6 +210,12 @@ class CacheArray
 
     /** Invalidate everything. */
     void flush();
+
+    /**
+     * Release the debug-only thread-ownership binding (sim/spine.hh) at
+     * a machine handover point. No-op in normal builds.
+     */
+    void rebindSpineOwner() { spine_owner_.rebind(); }
 
   private:
     /**
@@ -316,6 +326,9 @@ class CacheArray
     bool use_avx2_ = false;
     /** Optional insertion/promotion policy (GRASP); null = true LRU. */
     CachePolicy *policy_ = nullptr;
+    /** Shared-spine ownership tag: mutators assert the single-thread
+     *  rule the parallel engine's merge depends on (sim/spine.hh). */
+    SpineOwner spine_owner_;
     /**
      * Lookup tags, one entry per way, kEmptyTag when the way holds no
      * line. Split from lines_ so a hit scan touches a single host cache

@@ -169,6 +169,47 @@ struct EngineOp
 
 static_assert(sizeof(EngineOp) <= 24, "EngineOp must stay compact");
 
+/**
+ * Counters of the scripted replay path (Engine::scriptedFor), accumulated
+ * per machine across a run's phases. Every field except blocking_waits is
+ * a pure function of (graph, layout, phase structure) — identical for
+ * every sim_threads value and every thread interleaving, which
+ * test_sim_threads pins by folding them into its digest.
+ */
+struct ScriptReplayStats
+{
+    /** Epoch-bank refills across all cores (pipeline swap points). */
+    std::uint64_t epochs = 0;
+    /** Script items applied through the canonical-order merge. */
+    std::uint64_t merged_items = 0;
+    /** Engine ops applied through the merge. */
+    std::uint64_t merged_ops = 0;
+    /** Deepest per-core item queue observed at a bank swap. */
+    std::uint64_t max_queue_depth = 0;
+    /** Items whose functional hooks ran at generation time (on a worker
+     *  when sim_threads > 1) instead of at the merge. */
+    std::uint64_t concurrent_hook_items = 0;
+    /**
+     * Bank swaps that actually blocked on an unfinished generation
+     * ticket. Wall-clock-dependent: NOT deterministic across runs or
+     * thread counts, so it must never be rendered into byte-compared
+     * output (it is reported via OMEGA_PARALLEL_STATS stderr only).
+     */
+    std::uint64_t blocking_waits = 0;
+
+    void
+    accumulate(const ScriptReplayStats &o)
+    {
+        epochs += o.epochs;
+        merged_items += o.merged_items;
+        merged_ops += o.merged_ops;
+        if (o.max_queue_depth > max_queue_depth)
+            max_queue_depth = o.max_queue_depth;
+        concurrent_hook_items += o.concurrent_hook_items;
+        blocking_waits += o.blocking_waits;
+    }
+};
+
 } // namespace omega
 
 #endif // OMEGA_SIM_ENGINE_OPS_HH

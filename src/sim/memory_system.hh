@@ -72,7 +72,12 @@ struct MachineConfig
     Cycles watchdog_cycles = 0;
 };
 
-/** Abstract machine. All methods are single-threaded. */
+/**
+ * Abstract machine. All methods are single-threaded: every event enters
+ * through the calling (merge) thread, even when the engine runs with
+ * sim_threads > 1 — workers only generate scripts and run functional
+ * hooks, never machine methods (DESIGN.md "Epoch-scripted parallelism").
+ */
 class MemorySystem
 {
   public:
@@ -231,8 +236,28 @@ class MemorySystem
     virtual AccessProfiler *profiler() { return nullptr; }
     /** @} */
 
+    /** @name Scripted-replay statistics @{ */
+    /**
+     * Fold one scriptedFor phase's counters into the per-run totals.
+     * Called by the engine at each phase barrier; lives on the machine so
+     * the totals survive across the several Engine instances some
+     * algorithms construct (sliced PageRank, BC).
+     */
+    void
+    accumulateReplayStats(const ScriptReplayStats &stats)
+    {
+        replay_stats_.accumulate(stats);
+    }
+    const ScriptReplayStats &replayStats() const { return replay_stats_; }
+    /** @} */
+
   protected:
     IntervalRecorder *recorder_ = nullptr;
+    /** Scripted-replay totals (deliberately NOT in the stat tree, whose
+     *  entry list is frozen by the pinned golden digests; the bench
+     *  session renders them as a separate per-run "sim_parallel"
+     *  object). */
+    ScriptReplayStats replay_stats_;
 };
 
 } // namespace omega

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Spine-ownership tag: the private-tile / shared-spine split, checkable.
+ *
+ * The parallel engine (DESIGN.md "Epoch-scripted parallelism") divides a
+ * machine into per-core *tiles* (CoreModel, per-core counters — touched
+ * only for the owning core's events) and the shared *spine* (caches,
+ * directory, crossbar, DRAM channels, scratchpad controller busy tables —
+ * mutated by events from every core). The whole determinism argument rests
+ * on one rule: spine components are mutated ONLY from the merge thread,
+ * never from script-generation workers.
+ *
+ * SpineOwner makes that rule checkable. Under -DOMEGA_CHECK_INVARIANTS=ON
+ * each spine component lazily binds to the first thread that mutates it
+ * and aborts if any other thread ever does; rebind() releases the binding
+ * at well-defined handover points (machine configure()), so a machine
+ * constructed on one thread and driven on another — the sweep runner's
+ * pattern — never false-trips. In normal builds the tag is an empty
+ * struct and every call compiles away.
+ */
+
+#ifndef OMEGA_SIM_SPINE_HH
+#define OMEGA_SIM_SPINE_HH
+
+#include "util/check.hh"
+
+#ifdef OMEGA_CHECK_INVARIANTS
+#include <atomic>
+#include <thread>
+#endif
+
+namespace omega {
+
+#ifdef OMEGA_CHECK_INVARIANTS
+
+/** Debug-only thread-ownership tag for shared-spine components. */
+class SpineOwner
+{
+  public:
+    SpineOwner() = default;
+    /** Copies/moves (vector growth, machine construction) do not carry
+     *  the binding: a relocated component starts unbound and re-binds
+     *  lazily. Relocation only happens at construction time, before any
+     *  concurrent phase runs. (Also required: the atomic member would
+     *  otherwise delete the host's move constructor.) */
+    SpineOwner(const SpineOwner &) noexcept {}
+    SpineOwner &operator=(const SpineOwner &) noexcept { return *this; }
+
+    /**
+     * Assert the calling thread owns this component, binding it on first
+     * use. Mutators of spine state call this on entry; a mutation from a
+     * second thread aborts at the violation site.
+     */
+    void
+    assertOwned() const
+    {
+        const std::thread::id self = std::this_thread::get_id();
+        std::thread::id bound = owner_.load(std::memory_order_relaxed);
+        if (bound == self)
+            return;
+        if (bound == std::thread::id{}) {
+            // First mutation: claim ownership. A lost race means another
+            // thread mutated concurrently — exactly the bug to report.
+            if (owner_.compare_exchange_strong(bound, self,
+                                               std::memory_order_relaxed))
+                return;
+            if (bound == self)
+                return;
+        }
+        omega_assert(false,
+                     "shared-spine component mutated off the merge thread");
+    }
+
+    /** Release the binding (machine handover between threads). */
+    void rebind() { owner_.store({}, std::memory_order_relaxed); }
+
+  private:
+    /** Mutable: assertOwned() is called from const-adjacent hot paths. */
+    mutable std::atomic<std::thread::id> owner_{};
+};
+
+#else
+
+/** Release builds: no state, every call an inlined no-op. */
+class SpineOwner
+{
+  public:
+    void assertOwned() const {}
+    void rebind() {}
+};
+
+#endif
+
+} // namespace omega
+
+#endif // OMEGA_SIM_SPINE_HH

@@ -12,6 +12,13 @@
  * interleaving. PageRank drives the scripted pull/vertexMap/streaming
  * paths; BFS drives the buffered push path with dense and sparse
  * frontiers and atomics.
+ *
+ * The digest also folds in the scripted-replay pipeline counters
+ * (epochs, merged items/ops, queue depth, hook items) — everything
+ * except blocking_waits, which measures actual waiting and so is the
+ * one wall-clock-dependent field. A fault-armed case checks the
+ * invariant survives recovery retries, whose replays re-enter the
+ * scripted paths mid-run.
  */
 
 #include <gtest/gtest.h>
@@ -21,6 +28,7 @@
 #include <vector>
 
 #include "algorithms/algorithms.hh"
+#include "sim/fault.hh"
 #include "sim/machine_registry.hh"
 #include "testing/fuzz.hh"
 #include "util/json.hh"
@@ -55,13 +63,23 @@ graphMatrix()
     };
 }
 
-/** Run algo on a fresh machine and digest (cycles, full stat tree). */
+/** Every registered timing machine, in canonical registry order. */
+const std::vector<std::string> kMachines = {"baseline", "grasp", "omega",
+                                            "omega-sp-only"};
+
+/**
+ * Run algo on a fresh machine and digest (cycles, full stat tree, and
+ * the replay-pipeline counters minus the wall-clock-dependent
+ * blocking_waits).
+ */
 std::uint64_t
 runDigest(const Graph &g, const std::string &machine, AlgorithmKind algo,
-          unsigned sim_threads)
+          unsigned sim_threads, const FaultPlan *faults = nullptr)
 {
     const MachineRegistryEntry &entry = machineEntry(machine);
     auto m = entry.make(entry.make_params());
+    if (faults != nullptr)
+        m->armFaults(*faults);
     EngineOptions opts;
     opts.sim_threads = sim_threads;
     const Cycles cycles = runAlgorithmOnMachine(algo, g, m.get(), opts);
@@ -75,18 +93,24 @@ runDigest(const Graph &g, const std::string &machine, AlgorithmKind algo,
         tree->writeJson(w);
         EXPECT_TRUE(w.complete());
     }
+    const ScriptReplayStats &rs = m->replayStats();
+    os << '|' << rs.epochs << '|' << rs.merged_items << '|'
+       << rs.merged_ops << '|' << rs.max_queue_depth << '|'
+       << rs.concurrent_hook_items;
     return fnv1a(os.str());
 }
 
 void
-expectInvariant(AlgorithmKind algo)
+expectInvariant(AlgorithmKind algo, const FaultPlan *faults = nullptr)
 {
     for (const FuzzSpec &spec : graphMatrix()) {
         const Graph g = spec.materialize();
-        for (const std::string machine : {"baseline", "grasp", "omega"}) {
-            const std::uint64_t one = runDigest(g, machine, algo, 1);
+        for (const std::string &machine : kMachines) {
+            const std::uint64_t one =
+                runDigest(g, machine, algo, 1, faults);
             for (const unsigned threads : {2u, 8u}) {
-                EXPECT_EQ(runDigest(g, machine, algo, threads), one)
+                EXPECT_EQ(runDigest(g, machine, algo, threads, faults),
+                          one)
                     << algorithmName(algo) << " on " << machine << " / "
                     << spec.describe() << " diverged at sim_threads="
                     << threads;
@@ -106,6 +130,21 @@ TEST(SimThreads, BfsDigestIsThreadCountInvariant)
     // Push edgeMap with frontier switching and atomics: the buffered
     // path, plus scripted vertexMaps from the frontier bookkeeping.
     expectInvariant(AlgorithmKind::BFS);
+}
+
+TEST(SimThreads, FaultArmedDigestIsThreadCountInvariant)
+{
+    // Fault injection draws from a deterministic per-run RNG keyed on
+    // event order, and recovery retries replay through the same
+    // scripted paths — so an armed machine must stay bit-identical
+    // across worker counts too. BFS exercises retries on the atomic
+    // push path, the one faults perturb hardest.
+    std::string error;
+    const auto plan = FaultPlan::parse(
+        "seed=23,ecc=0.03,nack=0.08,drop=0.02,delay=0.02,dram=0.05",
+        &error);
+    ASSERT_TRUE(plan.has_value()) << error;
+    expectInvariant(AlgorithmKind::BFS, &*plan);
 }
 
 } // namespace

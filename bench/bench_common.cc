@@ -8,6 +8,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -104,9 +105,18 @@ usageError(const std::string &bench, const std::string &msg)
                  " [--interval <cycles>] [--jobs <n>]"
                  " [--sim-threads <n>]"
                  " [--faults <key=value,...>] [--profile <path>]"
+                 " [--checkpoint <path>] [--checkpoint-every <n>]"
+                 " [--resume <path>]"
                  " [bench args...]\n",
                  bench.c_str());
     std::exit(2);
+}
+
+/** SIGINT/SIGTERM: latch for the coordinator (async-signal-safe). */
+void
+checkpointSignalHandler(int sig)
+{
+    requestCheckpointInterrupt(sig);
 }
 
 /**
@@ -192,17 +202,90 @@ runKey(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
     return os.str();
 }
 
+void
+saveReplay(SnapshotWriter &w, const ScriptReplayStats &rs)
+{
+    // blocking_waits is wall-clock-dependent and never serialized.
+    w.putU64(rs.epochs);
+    w.putU64(rs.merged_items);
+    w.putU64(rs.merged_ops);
+    w.putU64(rs.max_queue_depth);
+    w.putU64(rs.concurrent_hook_items);
+}
+
+ScriptReplayStats
+restoreReplay(SnapshotReader &r)
+{
+    ScriptReplayStats rs;
+    rs.epochs = r.getU64();
+    rs.merged_items = r.getU64();
+    rs.merged_ops = r.getU64();
+    rs.max_queue_depth = r.getU64();
+    rs.concurrent_hook_items = r.getU64();
+    rs.blocking_waits = 0;
+    return rs;
+}
+
+/**
+ * Journal record of one completed run: the run key plus everything
+ * recordCompleted() consumes. MachineParams are NOT serialized — the
+ * key embeds their full JSON, so the reader recomputes identical
+ * parameters before decoding. Trace sinks and profiles never appear
+ * (those flags cannot be combined with checkpointing).
+ */
+void
+encodeJournaledRun(SnapshotWriter &w, const std::string &key,
+                   const CompletedRun &run)
+{
+    w.putString(key);
+    w.putU64(run.outcome.cycles);
+    run.outcome.stats.save(w);
+    saveReplay(w, run.outcome.replay);
+    w.putString(run.stat_tree_json);
+    w.putString(run.fault_json);
+    run.intervals.save(w);
+}
+
+/** Decode a journal record (reader positioned after the key). */
+CompletedRun
+decodeJournaledRun(SnapshotReader &r, const MachineParams &params,
+                   Cycles interval_cycles)
+{
+    CompletedRun run;
+    run.outcome.params = params;
+    run.outcome.cycles = r.getU64();
+    run.outcome.stats.restore(r);
+    run.outcome.replay = restoreReplay(r);
+    run.stat_tree_json = r.getString();
+    run.fault_json = r.getString();
+    run.intervals = IntervalRecorder(interval_cycles);
+    run.intervals.restore(r);
+    if (r.remaining() != 0) {
+        throw SnapshotStateError(
+            "journal: " + std::to_string(r.remaining()) +
+            " unconsumed bytes after a run record");
+    }
+    return run;
+}
+
 /**
  * Build the machine and run the algorithm, capturing every observability
  * artifact into the returned value. Thread-safe: all state is per-run,
  * and the trace sink is installed thread-locally for the duration.
+ *
+ * @param key the run's full identity (runKey()); required with @p coord.
+ * @param coord per-run checkpoint coordinator, or nullptr. Only the
+ *        session thread passes one — SweepRunner workers recover
+ *        through the journal instead, so the coordinator's section
+ *        registry is never shared across threads.
  */
 CompletedRun
 executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
            const std::function<void(MachineParams &)> &tweak, bool want_json,
            bool want_trace, Cycles interval_cycles,
            const FaultPlan *faults, bool want_profile,
-           unsigned sim_threads)
+           unsigned sim_threads, const std::string &key = {},
+           CheckpointCoordinator *coord = nullptr)
 {
     const Graph &g = datasetGraph(spec);
     MachineParams params = machineFor(kind, spec);
@@ -227,9 +310,64 @@ executeRun(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
     if (want_json)
         m->attachIntervalRecorder(&recorder);
 
+    if (coord != nullptr) {
+        // Section registration order IS the serialization order:
+        // intervals first (here), then engine + machine (Engine ctor),
+        // then the algorithm's own functional state. The algorithm arms
+        // the coordinator with maybeRestore() once everything is
+        // registered.
+        coord->beginRun(key);
+        coord->registerSection(
+            "intervals",
+            [&recorder](SnapshotWriter &w) { recorder.save(w); },
+            [&recorder](SnapshotReader &r) { recorder.restore(r); });
+    }
+
     EngineOptions opts;
     opts.sim_threads = sim_threads;
-    run.outcome.cycles = runAlgorithmOnMachine(algo, g, m.get(), opts);
+    opts.checkpoint = coord;
+    try {
+        run.outcome.cycles = runAlgorithmOnMachine(algo, g, m.get(), opts);
+    } catch (const WatchdogError &e) {
+        // The machine dies with this scope, so the post-mortem artifacts
+        // must be composed here: merge the run's buffered trace events
+        // into the session sink (they were silently dropped before), and
+        // flush a non-resumable stuck-state snapshot whose path rides in
+        // the error report.
+        if (run.trace_sink != nullptr) {
+            if (BenchSession *s = BenchSession::active())
+                s->mergeAbortTrace(*run.trace_sink);
+        }
+        std::string report = e.what();
+        if (coord != nullptr && coord->savingEnabled()) {
+            const std::string pm_path = coord->savePath() + ".postmortem";
+            try {
+                SnapshotWriter w;
+                w.putString(key);
+                w.putU64(0); // iteration unknown mid-phase
+                w.putBool(false); // a state dump, never resumable
+                w.putU64(1);
+                w.putString("machine");
+                const std::size_t blob = w.beginBlob();
+                m->saveState(w);
+                w.endBlob(blob);
+                writeSnapshotFile(pm_path, w.bytes());
+                report += "\npost-mortem snapshot: " + pm_path;
+            } catch (const std::exception &pm) {
+                report += std::string("\npost-mortem snapshot failed: ") +
+                          pm.what();
+            }
+        }
+        throw WatchdogError(report);
+    } catch (...) {
+        // CheckpointInterrupt (and anything else) also loses its
+        // buffered trace without this merge.
+        if (run.trace_sink != nullptr) {
+            if (BenchSession *s = BenchSession::active())
+                s->mergeAbortTrace(*run.trace_sink);
+        }
+        throw;
+    }
 
     if (want_json || want_trace)
         m->recordFinalSample();
@@ -299,23 +437,68 @@ runOn(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
     BenchSession *session = BenchSession::active();
     const bool observe = session != nullptr && session->observing();
 
+    std::string key;
     if (session != nullptr) {
         MachineParams params = machineFor(kind, spec);
         if (tweak)
             tweak(params);
-        const CompletedRun *pre =
-            session->findPrewarmed(runKey(spec, algo, kind, params));
+        key = runKey(spec, algo, kind, params);
+        const CompletedRun *pre = session->findPrewarmed(key);
         if (pre != nullptr) {
+            session->coordinator().dropResumeFor(key);
             if (observe)
                 session->recordCompleted(spec.name, algorithmName(algo),
                                          machineKindName(kind), *pre);
             return pre->outcome;
+        }
+        if (session->checkpointing()) {
+            // Sweep journal: a run the interrupted session completed is
+            // decoded instead of re-simulated, byte-identical to its
+            // original recording.
+            std::vector<std::uint8_t> rec = session->takeJournaled(key);
+            if (!rec.empty()) {
+                try {
+                    SnapshotReader r(std::move(rec));
+                    (void)r.getString(); // the key this record maps to
+                    CompletedRun run = decodeJournaledRun(
+                        r, params,
+                        session->jsonEnabled() ? session->intervalCycles()
+                                               : 0);
+                    session->coordinator().dropResumeFor(key);
+                    const RunOutcome outcome = run.outcome;
+                    if (observe) {
+                        session->recordCompleted(spec.name,
+                                                 algorithmName(algo),
+                                                 machineKindName(kind),
+                                                 run);
+                    }
+                    session->storePrewarmed(key, std::move(run));
+                    return outcome;
+                } catch (const SnapshotError &e) {
+                    warn("journal record for '", key,
+                         "' rejected (re-running): ", e.what());
+                }
+            }
         }
     }
 
     const bool want_json = observe && session->jsonEnabled();
     const bool want_trace = observe && session->traceEnabled();
     const bool want_profile = observe && session->profileEnabled();
+    // Per-run checkpointing runs only on the session thread; a latched
+    // signal between runs (or during an algorithm with no checkpoint
+    // wiring) stops the sweep here, before more work starts.
+    CheckpointCoordinator *coord =
+        session != nullptr && session->checkpointing()
+            ? &session->coordinator()
+            : nullptr;
+    if (coord != nullptr && pendingCheckpointSignal() != 0) {
+        const CheckpointInterrupt e({}, 0, pendingCheckpointSignal());
+        session->noteInterrupted(e);
+        if (session->rethrowInterrupt())
+            throw e;
+        std::exit(128 + e.signal());
+    }
     CompletedRun run;
     try {
         run = executeRun(spec, algo, kind, tweak, want_json, want_trace,
@@ -323,12 +506,22 @@ runOn(const DatasetSpec &spec, AlgorithmKind algo, MachineKind kind,
                          session != nullptr ? session->faultPlan()
                                             : nullptr,
                          want_profile,
-                         session != nullptr ? session->simThreads() : 1);
+                         session != nullptr ? session->simThreads() : 1,
+                         key, coord);
     } catch (const WatchdogError &e) {
         if (session != nullptr)
             session->abortSession(e.what()); // flushes partial JSON, exits
         throw;
+    } catch (const CheckpointInterrupt &e) {
+        // coord was non-null, so session is too. The final checkpoint is
+        // already on disk; flush the partial document and stop.
+        session->noteInterrupted(e);
+        if (session->rethrowInterrupt())
+            throw;
+        std::exit(e.signal() > 0 ? 128 + e.signal() : 130);
     }
+    if (session != nullptr && session->checkpointing())
+        session->journalCompleted(key, run);
     if (observe)
         session->recordCompleted(spec.name, algorithmName(algo),
                                  machineKindName(kind), run);
@@ -448,6 +641,33 @@ BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
                 usageError(bench_name_, "--profile path '" + profile_path_ +
                                             "' is not writable");
             }
+        } else if (arg == "--checkpoint") {
+            checkpoint_path_ = operand("--checkpoint");
+            // Fail fast on an unwritable destination. Snapshots land at
+            // "<path>.tmp" before the atomic rename, so probe that name
+            // and clean it up (a stale tmp from a crash is dead weight).
+            const std::string tmp = checkpoint_path_ + ".tmp";
+            {
+                std::ofstream probe(tmp, std::ios::app);
+                if (!probe) {
+                    usageError(bench_name_, "--checkpoint path '" +
+                                                checkpoint_path_ +
+                                                "' is not writable");
+                }
+            }
+            std::remove(tmp.c_str());
+        } else if (arg == "--checkpoint-every") {
+            const std::string &tok = operand("--checkpoint-every");
+            std::uint64_t every = 0;
+            if (!parseCount(tok, every) || every < 1) {
+                usageError(bench_name_, "--checkpoint-every operand '" +
+                                            tok +
+                                            "' is not an iteration count "
+                                            ">= 1");
+            }
+            checkpoint_every_ = every;
+        } else if (arg == "--resume") {
+            resume_path_ = operand("--resume");
         } else if (!arg.empty() && arg[0] == '-') {
             usageError(bench_name_, "unknown flag '" + arg + "'");
         } else {
@@ -471,6 +691,58 @@ BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
         warn("--profile requested but OMEGA_PROFILE was compiled out; "
              "every profile in the document will be unarmed/all-zero");
     }
+    if (checkpoint_every_ != 0 && checkpoint_path_.empty())
+        usageError(bench_name_, "--checkpoint-every requires --checkpoint");
+    if (checkpointing() &&
+        (!trace_path_.empty() || !profile_path_.empty())) {
+        usageError(bench_name_,
+                   "--checkpoint/--resume cannot be combined with --trace "
+                   "or --profile");
+    }
+    if (!resume_path_.empty()) {
+        // A missing operand file is a usage error (exit 2), like any
+        // other bad operand; a file that exists but fails verification
+        // keeps its distinct snapshot-taxonomy message.
+        {
+            std::ifstream probe(resume_path_, std::ios::binary);
+            if (!probe) {
+                usageError(bench_name_, "--resume file '" + resume_path_ +
+                                            "' cannot be opened");
+            }
+        }
+        try {
+            coordinator_.setResumePayload(readSnapshotFile(resume_path_));
+        } catch (const SnapshotError &e) {
+            std::fprintf(stderr, "%s: --resume %s: %s\n",
+                         bench_name_.c_str(), resume_path_.c_str(),
+                         e.what());
+            std::exit(1);
+        }
+    }
+    if (checkpointing()) {
+        clearCheckpointSignal();
+        coordinator_.configureSave(checkpoint_path_, checkpoint_every_);
+        if (!checkpoint_path_.empty()) {
+            if (!resume_path_.empty()) {
+                // Journaled runs of the interrupted session will be
+                // served without re-simulation; the snapshot resumes the
+                // one run that was mid-flight.
+                auto records = readJournalRecords(journalPath());
+                for (auto &rec : records) {
+                    SnapshotReader r(rec); // copy: only the key is read
+                    journal_.insert_or_assign(r.getString(),
+                                              std::move(rec));
+                }
+            } else {
+                // A fresh checkpointed session: records from a previous
+                // sweep at the same path must not leak in.
+                std::remove(journalPath().c_str());
+            }
+            std::signal(SIGINT, &checkpointSignalHandler);
+            std::signal(SIGTERM, &checkpointSignalHandler);
+            signal_handlers_installed_ = true;
+        }
+    }
     prev_active_ = g_active_session;
     g_active_session = this;
 }
@@ -478,6 +750,14 @@ BenchSession::BenchSession(std::string bench_name, int argc, char **argv)
 BenchSession::~BenchSession()
 {
     g_active_session = prev_active_;
+    if (signal_handlers_installed_) {
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+    }
+    if (coordinator_.resumePending()) {
+        warn("--resume snapshot for run '", coordinator_.resumeRunKey(),
+             "' was never consumed by this bench");
+    }
     if (jsonEnabled())
         writeJsonDoc();
     if (sink_ != nullptr)
@@ -507,6 +787,73 @@ BenchSession::abortSession(const std::string &reason)
     if (profileEnabled())
         writeProfileDoc();
     std::exit(1);
+}
+
+void
+BenchSession::noteInterrupted(const CheckpointInterrupt &e)
+{
+    interrupted_ = true;
+    interrupted_iteration_ = e.iteration();
+    interrupted_checkpoint_ = e.path();
+    interrupted_signal_ = e.signal();
+    if (e.path().empty()) {
+        warn("bench interrupted before the in-flight run reached a "
+             "checkpointable boundary");
+    } else {
+        warn("bench interrupted at iteration ", e.iteration(),
+             "; checkpoint written to ", e.path());
+    }
+    // Flush partial documents now: std::exit() (and a test rethrow that
+    // unwinds past the session) must not lose what was collected.
+    if (jsonEnabled())
+        writeJsonDoc();
+    if (sink_ != nullptr)
+        writeTraceFile();
+    if (profileEnabled())
+        writeProfileDoc();
+}
+
+void
+BenchSession::mergeAbortTrace(const trace::TraceSink &sink)
+{
+    std::lock_guard<std::mutex> lock(abort_trace_mutex_);
+    if (sink_ != nullptr)
+        sink_->mergeFrom(sink);
+}
+
+void
+BenchSession::journalCompleted(const std::string &key,
+                               const CompletedRun &run)
+{
+    if (checkpoint_path_.empty())
+        return;
+    SnapshotWriter w;
+    encodeJournaledRun(w, key, run);
+    std::lock_guard<std::mutex> lock(journal_mutex_);
+    try {
+        appendJournalRecord(journalPath(), w.bytes());
+    } catch (const SnapshotError &e) {
+        warn("cannot append to checkpoint journal: ", e.what());
+    }
+}
+
+std::vector<std::uint8_t>
+BenchSession::takeJournaled(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(journal_mutex_);
+    auto it = journal_.find(key);
+    if (it == journal_.end())
+        return {};
+    std::vector<std::uint8_t> rec = std::move(it->second);
+    journal_.erase(it);
+    return rec;
+}
+
+bool
+BenchSession::hasJournaled(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(journal_mutex_);
+    return journal_.count(key) != 0;
 }
 
 void
@@ -562,6 +909,14 @@ BenchSession::writeJsonDoc() const
     if (aborted_) {
         w.field("status", "aborted");
         w.field("abort_reason", abort_reason_);
+    }
+    if (interrupted_) {
+        w.field("status", "interrupted");
+        w.field("interrupted_iteration", interrupted_iteration_);
+        if (!interrupted_checkpoint_.empty())
+            w.field("checkpoint", interrupted_checkpoint_);
+        if (interrupted_signal_ != 0)
+            w.field("signal", interrupted_signal_);
     }
     if (faults_.has_value())
         w.field("fault_plan", faults_->describe());
@@ -694,8 +1049,9 @@ SweepRunner::add(const DatasetSpec &spec, AlgorithmKind algo,
         tweak(params);
     std::string key = runKey(spec, algo, kind, params);
     BenchSession *session = BenchSession::active();
-    if (session != nullptr && session->findPrewarmed(key) != nullptr)
-        return;
+    if (session != nullptr && (session->findPrewarmed(key) != nullptr ||
+                               session->hasJournaled(key)))
+        return; // runOn() serves it from the prewarm cache or the journal
     for (const PlannedRun &p : planned_) {
         if (p.key == key)
             return;
@@ -729,11 +1085,19 @@ SweepRunner::run()
     std::mutex failure_mutex;
     std::optional<std::string> failure;
     parallelFor(planned_.size(), jobs_, [&](std::size_t i) {
+        // Workers run with no coordinator (checkpointing a run requires
+        // exclusive use of the shared section registry); on SIGINT or
+        // SIGTERM they simply stop picking up points, and the journal
+        // lets the resumed sweep redo only what is missing.
+        if (pendingCheckpointSignal() != 0)
+            return;
         const PlannedRun &p = planned_[i];
         try {
             results[i] = executeRun(p.spec, p.algo, p.kind, p.tweak,
                                     want_json, want_trace, interval, faults,
                                     want_profile, sim_threads);
+            if (session->checkpointing())
+                session->journalCompleted(p.key, results[i]);
         } catch (const WatchdogError &e) {
             std::lock_guard<std::mutex> lock(failure_mutex);
             if (!failure.has_value())
@@ -742,6 +1106,13 @@ SweepRunner::run()
     });
     if (failure.has_value())
         session->abortSession(*failure);
+    if (const int sig = pendingCheckpointSignal()) {
+        CheckpointInterrupt e({}, 0, sig);
+        session->noteInterrupted(e);
+        if (session->rethrowInterrupt())
+            throw e;
+        std::exit(128 + sig);
+    }
     // Deposit in plan order; the bench's own loops consume from the map
     // in their original sequential order, so recorded output is
     // independent of which worker finished first.

@@ -14,12 +14,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "algorithms/algorithms.hh"
 #include "graph/datasets.hh"
+#include "sim/checkpoint.hh"
 #include "sim/fault.hh"
 #include "sim/interval_stats.hh"
 #include "sim/memory_system.hh"
@@ -146,7 +148,21 @@ struct CompletedRun
  *                       separate versioned JSON document with each run's
  *                       reuse-distance/3C/region/phase profile. Needs an
  *                       OMEGA_PROFILE build to collect anything (a
- *                       warning and all-zero profiles otherwise).
+ *                       warning and all-zero profiles otherwise);
+ *   --checkpoint <path> crash-recoverable runs: flush a versioned,
+ *                       checksummed snapshot of the full simulation
+ *                       state to <path> at iteration boundaries (on
+ *                       SIGINT/SIGTERM, and on the --checkpoint-every
+ *                       cadence), and journal each completed sweep run
+ *                       to <path>.journal;
+ *   --checkpoint-every <n>  also checkpoint every n completed
+ *                       iterations (requires --checkpoint, n >= 1);
+ *   --resume <path>     resume from the snapshot at <path>: journaled
+ *                       runs are served without re-simulation and the
+ *                       interrupted run continues from its snapshot,
+ *                       reproducing the uninterrupted session's output
+ *                       byte for byte. Checkpoint flags cannot be
+ *                       combined with --trace or --profile.
  *
  * Flag operands are validated: a missing operand, a malformed or
  * out-of-range number (--jobs 0), a bad fault spec, or an unrecognized
@@ -195,6 +211,35 @@ class BenchSession
         return faults_.has_value() ? &*faults_ : nullptr;
     }
 
+    /** True when --checkpoint and/or --resume was given. */
+    bool checkpointing() const
+    {
+        return !checkpoint_path_.empty() || !resume_path_.empty();
+    }
+    /** The session's coordinator (tests install test_stop here). */
+    CheckpointCoordinator &coordinator() { return coordinator_; }
+    /** Test knob: make runOn() rethrow CheckpointInterrupt after
+     *  flushing the partial documents instead of exiting the process. */
+    void setRethrowInterrupt(bool v) { rethrow_interrupt_ = v; }
+    bool rethrowInterrupt() const { return rethrow_interrupt_; }
+
+    /** Record interrupted status and flush the partial documents
+     *  ("status": "interrupted"); the caller exits or rethrows. */
+    void noteInterrupted(const CheckpointInterrupt &e);
+    /** Merge an aborted run's buffered trace events into the session
+     *  sink (watchdog/interrupt paths, where recordCompleted() never
+     *  runs). Thread-safe. */
+    void mergeAbortTrace(const trace::TraceSink &sink);
+
+    /** @name Sweep journal (crash-recoverable sweeps). @{ */
+    /** Append @p run to the on-disk journal (no-op without
+     *  --checkpoint). Thread-safe: SweepRunner workers call this. */
+    void journalCompleted(const std::string &key, const CompletedRun &run);
+    /** Remove and return the journaled record for @p key ({} if none). */
+    std::vector<std::uint8_t> takeJournaled(const std::string &key);
+    bool hasJournaled(const std::string &key) const;
+    /** @} */
+
     /**
      * Fatal-fault/watchdog bailout: flush the partial --json document
      * with "status": "aborted" and the reason (plus any trace collected
@@ -235,6 +280,7 @@ class BenchSession
     void writeJsonDoc() const;
     void writeTraceFile() const;
     void writeProfileDoc() const;
+    std::string journalPath() const { return checkpoint_path_ + ".journal"; }
 
     std::string bench_name_;
     /** Arguments not consumed by the session (bench-specific). */
@@ -252,6 +298,20 @@ class BenchSession
     std::optional<FaultPlan> faults_;
     bool aborted_ = false;
     std::string abort_reason_;
+    std::string checkpoint_path_;
+    std::uint64_t checkpoint_every_ = 0;
+    std::string resume_path_;
+    CheckpointCoordinator coordinator_;
+    bool rethrow_interrupt_ = false;
+    bool signal_handlers_installed_ = false;
+    bool interrupted_ = false;
+    std::uint64_t interrupted_iteration_ = 0;
+    std::string interrupted_checkpoint_;
+    int interrupted_signal_ = 0;
+    /** Journal records of the interrupted session, keyed by run key. */
+    mutable std::mutex journal_mutex_;
+    std::map<std::string, std::vector<std::uint8_t>> journal_;
+    std::mutex abort_trace_mutex_;
     std::unique_ptr<trace::TraceSink> sink_;
     std::vector<RunRecord> runs_;
     std::map<std::string, CompletedRun> prewarmed_;

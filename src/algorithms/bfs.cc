@@ -7,6 +7,7 @@
 
 #include "framework/properties.hh"
 #include "framework/vertex_subset.hh"
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace omega {
@@ -48,6 +49,27 @@ runBfs(const Graph &g, VertexId root, MemorySystem *mach,
     VertexSubset frontier = VertexSubset::single(n, root);
     VertexId reached = 1;
 
+    // Checkpoint section: parent array, the live frontier, and the
+    // progress scalars. Restoring the frontier re-enters the while loop
+    // exactly where the interrupted run left it.
+    if (CheckpointCoordinator *ck = opts.checkpoint) {
+        ck->registerSection(
+            "bfs",
+            [&](SnapshotWriter &w) {
+                parent.saveData(w);
+                saveVertexSubset(w, frontier);
+                w.putU32(reached);
+                w.putU64(result.rounds);
+            },
+            [&](SnapshotReader &r) {
+                parent.restoreData(r);
+                frontier = restoreVertexSubset(r);
+                reached = r.getU32();
+                result.rounds = static_cast<unsigned>(r.getU64());
+            });
+        ck->maybeRestore();
+    }
+
     while (!frontier.empty()) {
         frontier = eng.edgeMap(
             frontier, [&](unsigned, VertexId u, VertexId d, std::int32_t) {
@@ -60,9 +82,11 @@ runBfs(const Graph &g, VertexId root, MemorySystem *mach,
                 }
                 return r;
             });
-        eng.finishIteration();
+        // Progress scalars update BEFORE the iteration boundary so a
+        // checkpoint taken there captures them.
         reached += frontier.size();
         ++result.rounds;
+        eng.finishIteration();
     }
 
     result.parent = parent.data();

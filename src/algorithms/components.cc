@@ -10,6 +10,7 @@
 
 #include "framework/properties.hh"
 #include "framework/vertex_subset.hh"
+#include "sim/checkpoint.hh"
 
 namespace omega {
 
@@ -52,6 +53,26 @@ runComponents(const Graph &g, MemorySystem *mach, EngineOptions opts)
     CcResult result;
     VertexSubset frontier = VertexSubset::all(n);
 
+    // Checkpoint section: both label arrays, the frontier, and the
+    // round counter.
+    if (CheckpointCoordinator *ck = opts.checkpoint) {
+        ck->registerSection(
+            "components",
+            [&](SnapshotWriter &w) {
+                label.saveData(w);
+                prev.saveData(w);
+                saveVertexSubset(w, frontier);
+                w.putU64(result.rounds);
+            },
+            [&](SnapshotReader &r) {
+                label.restoreData(r);
+                prev.restoreData(r);
+                frontier = restoreVertexSubset(r);
+                result.rounds = static_cast<unsigned>(r.getU64());
+            });
+        ck->maybeRestore();
+    }
+
     while (!frontier.empty()) {
         frontier = eng.edgeMap(
             frontier,
@@ -70,8 +91,10 @@ runComponents(const Graph &g, MemorySystem *mach, EngineOptions opts)
             frontier,
             [&](unsigned, VertexId v) { prev[v] = label[v]; }, {&label},
             {&prev});
-        eng.finishIteration();
+        // Round counter updates BEFORE the iteration boundary so a
+        // checkpoint taken there captures it.
         ++result.rounds;
+        eng.finishIteration();
     }
 
     // Count distinct labels with sort+unique on a flat copy: one pass of

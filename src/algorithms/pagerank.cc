@@ -11,6 +11,7 @@
 #include "framework/properties.hh"
 #include "framework/vertex_subset.hh"
 #include "graph/slicing.hh"
+#include "sim/checkpoint.hh"
 #include "translate/codegen.hh"
 
 namespace omega {
@@ -53,7 +54,37 @@ runPageRank(const Graph &g, MemorySystem *mach, unsigned max_iters,
     const VertexSubset all = VertexSubset::all(n);
     const double base_rank = (1.0 - damping) / n;
 
-    for (unsigned iter = 0; iter < max_iters; ++iter) {
+    // Checkpoint section: the functional state is curr (the host rank
+    // array), next (the accumulator vtxProp), and the convergence
+    // scalars; iteration progress lives in the engine section.
+    CheckpointCoordinator *ck = opts.checkpoint;
+    if (ck) {
+        ck->registerSection(
+            "pagerank",
+            [&](SnapshotWriter &w) {
+                w.putBytes(curr.data(), curr.size() * sizeof(double));
+                next.saveData(w);
+                w.putU64(result.iterations);
+                w.putF64(result.last_delta);
+            },
+            [&](SnapshotReader &r) {
+                r.getBytesInto(curr.data(), curr.size() * sizeof(double));
+                next.restoreData(r);
+                result.iterations = static_cast<unsigned>(r.getU64());
+                result.last_delta = r.getF64();
+            });
+    }
+    unsigned start = 0;
+    bool converged = false;
+    if (ck && ck->maybeRestore()) {
+        start = result.iterations;
+        // The snapshot may sit exactly on the iteration whose delta met
+        // the tolerance: the uninterrupted run breaks before another
+        // iteration, so the resumed run must too.
+        converged = tolerance > 0.0 && result.last_delta < tolerance;
+    }
+
+    for (unsigned iter = start; !converged && iter < max_iters; ++iter) {
         // Scatter contributions along out-edges (Fig 2's inner loop).
         eng.edgeMap(
             all,
@@ -88,9 +119,11 @@ runPageRank(const Graph &g, MemorySystem *mach, unsigned max_iters,
             },
             {&next}, {&next});
 
-        eng.finishIteration();
+        // Result scalars update BEFORE the iteration boundary so a
+        // checkpoint taken there captures them.
         result.iterations = iter + 1;
         result.last_delta = delta;
+        eng.finishIteration();
         if (tolerance > 0.0 && delta < tolerance)
             break;
     }

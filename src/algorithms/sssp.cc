@@ -7,6 +7,7 @@
 
 #include "framework/properties.hh"
 #include "framework/vertex_subset.hh"
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 
 namespace omega {
@@ -57,8 +58,30 @@ runSssp(const Graph &g, VertexId root, MemorySystem *mach,
     SsspResult result;
     VertexSubset frontier = VertexSubset::single(n, root);
 
+    // Checkpoint section: both property arrays, the frontier, and the
+    // round counter (which doubles as the resumed loop index).
+    CheckpointCoordinator *ck = opts.checkpoint;
+    if (ck) {
+        ck->registerSection(
+            "sssp",
+            [&](SnapshotWriter &w) {
+                dist.saveData(w);
+                visited.saveData(w);
+                saveVertexSubset(w, frontier);
+                w.putU64(result.rounds);
+            },
+            [&](SnapshotReader &r) {
+                dist.restoreData(r);
+                visited.restoreData(r);
+                frontier = restoreVertexSubset(r);
+                result.rounds = static_cast<unsigned>(r.getU64());
+            });
+        ck->maybeRestore();
+    }
+
     // Bellman-Ford converges in at most n-1 relaxation rounds.
-    for (VertexId round = 0; round + 1 < n && !frontier.empty(); ++round) {
+    for (VertexId round = result.rounds; round + 1 < n && !frontier.empty();
+         ++round) {
         frontier = eng.edgeMap(
             frontier,
             [&](unsigned, VertexId u, VertexId d, std::int32_t w) {
@@ -72,8 +95,10 @@ runSssp(const Graph &g, VertexId root, MemorySystem *mach,
                 }
                 return r;
             });
-        eng.finishIteration();
+        // Round counter updates BEFORE the iteration boundary so a
+        // checkpoint taken there captures it.
         ++result.rounds;
+        eng.finishIteration();
     }
 
     result.dist = dist.data();

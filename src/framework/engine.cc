@@ -5,6 +5,7 @@
 
 #include "framework/engine.hh"
 
+#include "sim/checkpoint.hh"
 #include "translate/codegen.hh"
 #include "util/logging.hh"
 #include "util/trace.hh"
@@ -48,6 +49,29 @@ Engine::Engine(const Graph &g, PropertyRegistry &props, UpdateFn fn,
     // generation runs on it; the machine itself stays single-threaded.
     if (mach_ && opts_.sim_threads > 1)
         script_pool_ = std::make_unique<ThreadPool>(opts_.sim_threads);
+
+    // Checkpoint sections: the engine's progress counters, then the
+    // machine's whole state tree. Registration order is serialization
+    // order; the algorithm's own sections follow (it constructs after
+    // the engine) and it calls maybeRestore() once initialized.
+    if (opts_.checkpoint) {
+        opts_.checkpoint->registerSection(
+            "engine",
+            [this](SnapshotWriter &w) {
+                w.putU64(iterations_);
+                w.putU64(phases_);
+            },
+            [this](SnapshotReader &r) {
+                iterations_ = r.getU64();
+                phases_ = r.getU64();
+            });
+        if (mach_) {
+            opts_.checkpoint->registerSection(
+                "machine",
+                [this](SnapshotWriter &w) { mach_->saveState(w); },
+                [this](SnapshotReader &r) { mach_->restoreState(r); });
+        }
+    }
 }
 
 void
@@ -122,6 +146,8 @@ Engine::finishIteration()
         }
     }
     ++iterations_;
+    if (opts_.checkpoint)
+        opts_.checkpoint->onIterationEnd(iterations_);
 }
 
 } // namespace omega

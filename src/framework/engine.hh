@@ -40,6 +40,8 @@
 
 namespace omega {
 
+class CheckpointCoordinator;
+
 /** Tunables of the runtime. */
 struct EngineOptions
 {
@@ -81,6 +83,15 @@ struct EngineOptions
      * (DESIGN.md "Epoch-scripted parallelism").
      */
     unsigned sim_threads = 1;
+    /**
+     * Checkpoint coordinator for crash-recoverable runs, or null. The
+     * engine registers its own progress counters and the machine's
+     * state tree as sections and drives the coordinator's
+     * iteration-boundary hook from finishIteration(); the algorithm
+     * registers its functional state and calls maybeRestore() itself
+     * (sim/checkpoint.hh).
+     */
+    CheckpointCoordinator *checkpoint = nullptr;
 };
 
 /**

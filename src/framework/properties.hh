@@ -21,6 +21,7 @@
 #include "graph/types.hh"
 #include "sim/access.hh"
 #include "sim/memory_system.hh"
+#include "sim/snapshot.hh"
 #include "util/logging.hh"
 
 namespace omega {
@@ -59,6 +60,17 @@ class PropArrayBase
         return s;
     }
 
+    /**
+     * @name Snapshot support.
+     * Host array contents as raw bytes (the functional vertex state).
+     * Name/size are cross-checked so a section restored into the wrong
+     * property is a state error, not silent corruption.
+     * @{
+     */
+    virtual void saveData(SnapshotWriter &w) const = 0;
+    virtual void restoreData(SnapshotReader &r) = 0;
+    /** @} */
+
   private:
     std::string name_;
     std::uint64_t start_addr_;
@@ -84,6 +96,24 @@ class PropArray : public PropArrayBase
     std::vector<T> &data() { return data_; }
     const std::vector<T> &data() const { return data_; }
     void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+    void
+    saveData(SnapshotWriter &w) const override
+    {
+        w.putString(name());
+        w.putBytes(data_.data(), data_.size() * sizeof(T));
+    }
+    void
+    restoreData(SnapshotReader &r) override
+    {
+        const std::string name_in = r.getString();
+        if (name_in != name()) {
+            throw SnapshotStateError(
+                "snapshot: property \"" + name_in +
+                "\" restored into \"" + name() + "\"");
+        }
+        r.getBytesInto(data_.data(), data_.size() * sizeof(T));
+    }
 
   private:
     std::vector<T> data_;

@@ -14,9 +14,11 @@
 #define OMEGA_FRAMEWORK_VERTEX_SUBSET_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/types.hh"
+#include "sim/snapshot.hh"
 
 namespace omega {
 
@@ -76,6 +78,49 @@ class VertexSubset
     mutable std::vector<std::uint8_t> lookup_;
     mutable bool lookup_valid_ = false;
 };
+
+/**
+ * @name Frontier snapshot helpers.
+ * Serialize the subset in its current representation through the public
+ * API; fromSparse/fromDense are idempotent on canonical frontiers, so a
+ * round trip reproduces the subset (and its representation) exactly.
+ * @{
+ */
+inline void
+saveVertexSubset(SnapshotWriter &w, const VertexSubset &s)
+{
+    w.putU32(s.numVertices());
+    w.putBool(s.isDense());
+    if (s.isDense())
+        w.putU8Vector(s.dense());
+    else
+        w.putU32Vector(s.sparse());
+}
+
+inline VertexSubset
+restoreVertexSubset(SnapshotReader &r)
+{
+    const VertexId n = r.getU32();
+    const bool dense = r.getBool();
+    if (dense) {
+        std::vector<std::uint8_t> map = r.getByteVector();
+        if (map.size() != n) {
+            throw SnapshotStateError(
+                "snapshot: dense frontier map does not cover its "
+                "vertex count");
+        }
+        return VertexSubset::fromDense(std::move(map));
+    }
+    std::vector<VertexId> ids = r.getU32Vector();
+    for (const VertexId v : ids) {
+        if (v >= n) {
+            throw SnapshotStateError(
+                "snapshot: sparse frontier id out of range");
+        }
+    }
+    return VertexSubset::fromSparse(n, std::move(ids));
+}
+/** @} */
 
 } // namespace omega
 

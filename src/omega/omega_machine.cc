@@ -688,6 +688,88 @@ OmegaMachine::watchdogReport(const std::string &reason, Cycles now) const
     return os.str();
 }
 
+void
+OmegaMachine::saveState(SnapshotWriter &w) const
+{
+    w.putU64(global_cycles_);
+    w.putU64(iteration_);
+    w.putU64(last_barrier_cycles_);
+    w.putU64(atomics_total_);
+    w.putU64(atomics_offloaded_);
+    w.putU64(atomics_on_core_);
+    w.putU64(sp_local_);
+    w.putU64(sp_remote_);
+    w.putU64(vtxprop_accesses_);
+    w.putU64(vtxprop_hot_accesses_);
+    w.putU64(tiles_.size());
+    for (const OmegaCoreTile &tile : tiles_) {
+        tile.core.save(w);
+        w.putU64(tile.sparse_appends);
+        tile.svb.save(w);
+    }
+    hierarchy_.save(w);
+    w.putU64(scratchpads_.size());
+    for (const Scratchpad &sp : scratchpads_)
+        sp.save(w);
+    for (const Pisc &pisc : piscs_)
+        pisc.save(w);
+    controller_.save(w);
+    w.putBool(injector_ != nullptr);
+    if (injector_ != nullptr)
+        injector_->save(w);
+    saveReplayStats(w);
+}
+
+void
+OmegaMachine::restoreState(SnapshotReader &r)
+{
+    global_cycles_ = r.getU64();
+    iteration_ = r.getU64();
+    last_barrier_cycles_ = r.getU64();
+    atomics_total_ = r.getU64();
+    atomics_offloaded_ = r.getU64();
+    atomics_on_core_ = r.getU64();
+    sp_local_ = r.getU64();
+    sp_remote_ = r.getU64();
+    vtxprop_accesses_ = r.getU64();
+    vtxprop_hot_accesses_ = r.getU64();
+    const std::uint64_t tiles = r.getU64();
+    if (tiles != tiles_.size()) {
+        throw SnapshotStateError(
+            "snapshot: machine has " + std::to_string(tiles) +
+            " tiles, this machine has " + std::to_string(tiles_.size()));
+    }
+    for (OmegaCoreTile &tile : tiles_) {
+        tile.core.restore(r);
+        tile.sparse_appends = r.getU64();
+        tile.svb.restore(r);
+    }
+    hierarchy_.restore(r);
+    const std::uint64_t sps = r.getU64();
+    if (sps != scratchpads_.size()) {
+        throw SnapshotStateError(
+            "snapshot: machine has " + std::to_string(sps) +
+            " scratchpads, this machine has " +
+            std::to_string(scratchpads_.size()));
+    }
+    for (Scratchpad &sp : scratchpads_)
+        sp.restore(r);
+    for (Pisc &pisc : piscs_)
+        pisc.restore(r);
+    controller_.restore(r);
+    const bool armed = r.getBool();
+    if (armed != (injector_ != nullptr)) {
+        throw SnapshotStateError(
+            armed ? "snapshot: fault campaign armed in the snapshot but "
+                    "not on this machine"
+                  : "snapshot: no fault campaign in the snapshot but one "
+                    "is armed on this machine");
+    }
+    if (injector_ != nullptr)
+        injector_->restore(r);
+    restoreReplayStats(r);
+}
+
 std::string
 OmegaMachine::debugDump() const
 {

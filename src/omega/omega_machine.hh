@@ -135,6 +135,18 @@ class OmegaMachine : public MemorySystem
     void armProfile() override;
     AccessProfiler *profiler() override { return profiler_.get(); }
 
+    /**
+     * @name Checkpoint/restore.
+     * Tiles (core + SVB), the spine (hierarchy, scratchpads, PISCs,
+     * controller), machine clocks/counters and any armed injector.
+     * Configuration (monitor registers, microcode, residency) is
+     * re-derived by configure() before restore.
+     * @{
+     */
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+    /** @} */
+
   private:
     void countVertexAccess(VertexId vertex);
     void buildStatTree();

@@ -20,6 +20,7 @@
 
 #include "graph/types.hh"
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 
 namespace omega {
 
@@ -98,6 +99,32 @@ class Pisc
             return false;
         return offerNackSlow(vertex, now);
     }
+
+    /**
+     * @name Snapshot support.
+     * Engine clocks and counters; the microcode program is run
+     * configuration, re-loaded before restore.
+     * @{
+     */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.putU64(busy_until_);
+        w.putU64(last_completion_);
+        w.putU64(ops_);
+        w.putU64(busy_cycles_);
+        w.putU64(queue_cycles_);
+    }
+    void
+    restore(SnapshotReader &r)
+    {
+        busy_until_ = r.getU64();
+        last_completion_ = r.getU64();
+        ops_ = r.getU64();
+        busy_cycles_ = r.getU64();
+        queue_cycles_ = r.getU64();
+    }
+    /** @} */
 
     void reset();
 

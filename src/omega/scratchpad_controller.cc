@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <utility>
 
 #include "sim/fault.hh"
 #include "util/logging.hh"
@@ -271,6 +272,62 @@ ScratchpadController::addStats(StatGroup &group) const
 {
     group.addScalar("conflicts", &conflicts_,
                     "atomics serialized behind a same-vertex in-flight op");
+}
+
+void
+ScratchpadController::save(SnapshotWriter &w) const
+{
+    w.putU32Vector(memo_);
+    w.putU64(slow_lookups_);
+    w.putU64(conflicts_);
+    // Busy table, canonically: the live entries with their completion
+    // times. Epoch/stamp values are an invalidation encoding, not state.
+    w.putU64(busy_live_.size());
+    for (const VertexId v : busy_live_) {
+        w.putU32(static_cast<std::uint32_t>(v));
+        w.putU64(busy_until_[v]);
+    }
+    w.putU64(max_busy_);
+    w.putBool(any_demotion_);
+    w.putU8Vector(poisoned_);
+    w.putU8Vector(demoted_);
+    w.putU64(poisoned_count_);
+    w.putU32(demoted_count_);
+}
+
+void
+ScratchpadController::restore(SnapshotReader &r)
+{
+    std::vector<std::uint32_t> memo = r.getU32Vector();
+    if (memo.size() != memo_.size()) {
+        throw SnapshotStateError(
+            "snapshot: controller memo table sized for " +
+            std::to_string(memo.size()) + " cores, machine has " +
+            std::to_string(memo_.size()));
+    }
+    memo_ = std::move(memo);
+    slow_lookups_ = r.getU64();
+    conflicts_ = r.getU64();
+    bumpBusyEpoch();
+    busy_live_.clear();
+    const std::uint64_t live = r.getU64();
+    for (std::uint64_t i = 0; i < live; ++i) {
+        const auto vertex = static_cast<VertexId>(r.getU32());
+        const Cycles until = r.getU64();
+        if (vertex >= busy_until_.size()) {
+            busy_until_.resize(vertex + 1);
+            busy_stamp_.resize(vertex + 1, 0);
+        }
+        busy_stamp_[vertex] = busy_epoch_;
+        busy_until_[vertex] = until;
+        busy_live_.push_back(vertex);
+    }
+    max_busy_ = r.getU64();
+    any_demotion_ = r.getBool();
+    poisoned_ = r.getByteVector();
+    demoted_ = r.getByteVector();
+    poisoned_count_ = r.getU64();
+    demoted_count_ = r.getU32();
 }
 
 void

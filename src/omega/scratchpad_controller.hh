@@ -29,6 +29,7 @@
 #include "graph/types.hh"
 #include "sim/memory_system.hh"
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 
 namespace omega {
 
@@ -206,6 +207,18 @@ class ScratchpadController
     /** Busy vertices that will never retire by @p now (watchdog dump). */
     std::vector<VertexId> stuckVertices(Cycles now,
                                         std::size_t max_report) const;
+    /** @} */
+
+    /**
+     * @name Snapshot support.
+     * All run-time state: busy table (epoch-stamped), memo slots,
+     * slow-lookup counter, conflict counter, and the fault degradation
+     * maps. The monitor table / partition config is re-derived by
+     * configure() before restore; resident count must match.
+     * @{
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
     /** @} */
 
   private:

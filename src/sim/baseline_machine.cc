@@ -161,6 +161,60 @@ BaselineMachine::refreshWatchdog()
                                   : 0);
 }
 
+void
+BaselineMachine::saveState(SnapshotWriter &w) const
+{
+    w.putU64(global_cycles_);
+    w.putU64(iteration_);
+    w.putU64(last_barrier_cycles_);
+    w.putU64(atomics_total_);
+    w.putU64(vtxprop_accesses_);
+    w.putU64(vtxprop_hot_accesses_);
+    w.putU64(tiles_.size());
+    for (const CoreTile &tile : tiles_) {
+        tile.core.save(w);
+        w.putU64(tile.sparse_appends);
+    }
+    hierarchy_.save(w);
+    w.putBool(injector_ != nullptr);
+    if (injector_ != nullptr)
+        injector_->save(w);
+    saveReplayStats(w);
+}
+
+void
+BaselineMachine::restoreState(SnapshotReader &r)
+{
+    global_cycles_ = r.getU64();
+    iteration_ = r.getU64();
+    last_barrier_cycles_ = r.getU64();
+    atomics_total_ = r.getU64();
+    vtxprop_accesses_ = r.getU64();
+    vtxprop_hot_accesses_ = r.getU64();
+    const std::uint64_t tiles = r.getU64();
+    if (tiles != tiles_.size()) {
+        throw SnapshotStateError(
+            "snapshot: machine has " + std::to_string(tiles) +
+            " tiles, this machine has " + std::to_string(tiles_.size()));
+    }
+    for (CoreTile &tile : tiles_) {
+        tile.core.restore(r);
+        tile.sparse_appends = r.getU64();
+    }
+    hierarchy_.restore(r);
+    const bool armed = r.getBool();
+    if (armed != (injector_ != nullptr)) {
+        throw SnapshotStateError(
+            armed ? "snapshot: fault campaign armed in the snapshot but "
+                    "not on this machine"
+                  : "snapshot: no fault campaign in the snapshot but one "
+                    "is armed on this machine");
+    }
+    if (injector_ != nullptr)
+        injector_->restore(r);
+    restoreReplayStats(r);
+}
+
 std::string
 BaselineMachine::debugDump() const
 {

@@ -64,6 +64,19 @@ class BaselineMachine : public MemorySystem
     void armProfile() override;
     AccessProfiler *profiler() override { return profiler_.get(); }
 
+    /**
+     * @name Checkpoint/restore.
+     * Tiles, the shared spine, machine clocks/counters and any armed
+     * fault injector. Derived machines (GRASP) extend the stream; the
+     * stat tree is pointer-stable, so restore writes every registered
+     * word in place. Profiler state is deliberately out of scope
+     * (checkpointing is rejected under --profile at the CLI).
+     * @{
+     */
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+    /** @} */
+
   protected:
     /**
      * Derived-machine constructor (GRASP): same hardware, a different

@@ -29,6 +29,7 @@
 
 #include "sim/cache_policy.hh"
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 #include "sim/spine.hh"
 #include "util/check.hh"
 
@@ -216,6 +217,18 @@ class CacheArray
      * a machine handover point. No-op in normal builds.
      */
     void rebindSpineOwner() { spine_owner_.rebind(); }
+
+    /**
+     * @name Snapshot support.
+     * The tag/LRU rows and full line metadata; geometry is construction
+     * state and only cross-checked (restore into a differently sized
+     * array throws SnapshotStateError). The installed policy is external
+     * configuration and is not serialized.
+     * @{
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+    /** @} */
 
   private:
     /**

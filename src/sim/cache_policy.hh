@@ -159,6 +159,8 @@ class GraspPolicy final : public CachePolicy
     /** Counters live at a stable address for stat-tree registration. */
     const GraspPolicyStats *statsPtr() const { return &stats_; }
     void resetStats() { stats_ = GraspPolicyStats{}; }
+    /** Overwrite the counters in place (checkpoint restore). */
+    void restoreStats(const GraspPolicyStats &s) { stats_ = s; }
 
     const std::vector<GraspRegion> &regions() const { return regions_; }
 

@@ -253,6 +253,49 @@ CacheHierarchy::addStats(StatGroup &group)
 }
 
 void
+CacheHierarchy::save(SnapshotWriter &w) const
+{
+    w.putU64(l1_.size());
+    for (const CacheArray &l1 : l1_)
+        l1.save(w);
+    l2_.save(w);
+    xbar_->save(w);
+    dram_->save(w);
+    w.putU64(l1_accesses_);
+    w.putU64(l1_hits_);
+    w.putU64(l2_accesses_);
+    w.putU64(l2_hits_);
+    w.putU64(writebacks_);
+    w.putU64(upgrades_);
+    w.putU64(invalidations_);
+    w.putU64(dirty_forwards_);
+}
+
+void
+CacheHierarchy::restore(SnapshotReader &r)
+{
+    const std::uint64_t l1s = r.getU64();
+    if (l1s != l1_.size()) {
+        throw SnapshotStateError(
+            "snapshot: hierarchy has " + std::to_string(l1s) +
+            " L1 caches, machine has " + std::to_string(l1_.size()));
+    }
+    for (CacheArray &l1 : l1_)
+        l1.restore(r);
+    l2_.restore(r);
+    xbar_->restore(r);
+    dram_->restore(r);
+    l1_accesses_ = r.getU64();
+    l1_hits_ = r.getU64();
+    l2_accesses_ = r.getU64();
+    l2_hits_ = r.getU64();
+    writebacks_ = r.getU64();
+    upgrades_ = r.getU64();
+    invalidations_ = r.getU64();
+    dirty_forwards_ = r.getU64();
+}
+
+void
 CacheHierarchy::flushAll()
 {
     for (auto &l1 : l1_)

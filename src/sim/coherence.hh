@@ -111,6 +111,17 @@ class CacheHierarchy
     void collect(StatsReport &out) const;
 
     /**
+     * @name Snapshot support.
+     * Every L1, the L2/directory, crossbar, DRAM and the hierarchy's own
+     * transaction counters. Installed policy objects are external config
+     * (the machine re-serializes policy statistics itself).
+     * @{
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+    /** @} */
+
+    /**
      * Register cache/coherence counters in @p group and attach "xbar"
      * and "dram" child groups (owned by this hierarchy) for the shared
      * interconnect and memory. Call at most once per hierarchy.

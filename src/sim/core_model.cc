@@ -134,6 +134,40 @@ CoreModel::addStats(StatGroup &group) const
 }
 
 void
+CoreModel::save(SnapshotWriter &w) const
+{
+    w.putU64(clock_);
+    w.putU64(op_residue_);
+    w.putU64Vector(inflight_);
+    w.putU64(oldest_inflight_);
+    w.putU64(instructions_);
+    w.putU64(compute_cycles_);
+    w.putU64(mem_stall_cycles_);
+    w.putU64(atomic_stall_cycles_);
+    w.putU64(sync_stall_cycles_);
+}
+
+void
+CoreModel::restore(SnapshotReader &r)
+{
+    clock_ = r.getU64();
+    op_residue_ = r.getU64();
+    inflight_ = r.getU64Vector();
+    if (inflight_.size() > mshrs_) {
+        throw SnapshotStateError(
+            "snapshot: core MSHR window holds " +
+            std::to_string(inflight_.size()) + " entries, machine has " +
+            std::to_string(mshrs_) + " MSHRs");
+    }
+    oldest_inflight_ = r.getU64();
+    instructions_ = r.getU64();
+    compute_cycles_ = r.getU64();
+    mem_stall_cycles_ = r.getU64();
+    atomic_stall_cycles_ = r.getU64();
+    sync_stall_cycles_ = r.getU64();
+}
+
+void
 CoreModel::reset()
 {
     clock_ = 0;

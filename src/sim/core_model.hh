@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 #include "util/check.hh"
 
 namespace omega {
@@ -155,6 +156,19 @@ class CoreModel
     void addStats(StatGroup &group) const;
 
     void reset();
+
+    /**
+     * @name Snapshot support.
+     * Every mutable word, including the MSHR window's completion times in
+     * their exact (unordered) vector order — future window compactions
+     * scan that order, so it must survive a round trip verbatim.
+     * Configuration (issue width, MSHR count) is constructor state and is
+     * not serialized.
+     * @{
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+    /** @} */
 
   private:
     /** Advance the clock to @p t, charging the gap to @p kind. */

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 #include "sim/spine.hh"
 
 namespace omega {
@@ -79,6 +80,27 @@ class Crossbar
 
     /** Register traffic counters in @p group. */
     void addStats(StatGroup &group) const;
+
+    /**
+     * @name Snapshot support.
+     * Traffic counters only — latency/flit geometry is constructor state.
+     * @{
+     */
+    void
+    save(SnapshotWriter &w) const
+    {
+        w.putU64(bytes_);
+        w.putU64(flits_);
+        w.putU64(packets_);
+    }
+    void
+    restore(SnapshotReader &r)
+    {
+        bytes_ = r.getU64();
+        flits_ = r.getU64();
+        packets_ = r.getU64();
+    }
+    /** @} */
 
     void reset();
 

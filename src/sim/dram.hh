@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 #include "sim/spine.hh"
 #include "util/stats.hh"
 
@@ -109,6 +110,17 @@ class Dram
 
     /** Register traffic counters and the queue histogram in @p group. */
     void addStats(StatGroup &group) const;
+
+    /**
+     * @name Snapshot support.
+     * Per-channel free times (the queueing state future requests see),
+     * traffic counters and the queue-delay histogram. Channel count must
+     * match the machine being restored into (SnapshotStateError).
+     * @{
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+    /** @} */
 
     void reset();
 

@@ -387,6 +387,89 @@ FaultInjector::registerScratchpadFault(unsigned sp)
     return ++sp_faults_[sp] == plan_.sp_fault_threshold;
 }
 
+void
+FaultInjector::save(SnapshotWriter &w) const
+{
+    w.putString(plan_.describe());
+    for (const Rng &stream : streams_) {
+        std::uint64_t words[4];
+        stream.exportState(words);
+        for (const std::uint64_t word : words)
+            w.putU64(word);
+    }
+    w.putU64(counters_.sp_ecc_errors);
+    w.putU64(counters_.pisc_nacks);
+    w.putU64(counters_.xbar_drops);
+    w.putU64(counters_.xbar_delays);
+    w.putU64(counters_.dram_stalls);
+    w.putU64(counters_.retries);
+    w.putU64(counters_.lost_updates);
+    w.putU64(counters_.degraded_atomics);
+    w.putU64(counters_.lines_poisoned);
+    w.putU64(counters_.sp_demotions);
+    w.putU64(counters_.refetches);
+    w.putU64(counters_.injected_delay_cycles);
+    w.putU64(events_.size());
+    for (const FaultEvent &e : events_) {
+        w.putU8(static_cast<std::uint8_t>(e.kind));
+        w.putU32(e.component);
+        w.putU32(static_cast<std::uint32_t>(e.vertex));
+        w.putU64(e.at);
+    }
+    w.putU64(total_events_);
+    w.putU64(trace_digest_);
+    w.putU32Vector(line_errors_);
+    w.putU32Vector(sp_faults_);
+}
+
+void
+FaultInjector::restore(SnapshotReader &r)
+{
+    const std::string plan = r.getString();
+    if (plan != plan_.describe()) {
+        throw SnapshotStateError(
+            "snapshot: fault plan mismatch (snapshot {" + plan +
+            "}, machine {" + plan_.describe() + "})");
+    }
+    for (Rng &stream : streams_) {
+        std::uint64_t words[4];
+        for (std::uint64_t &word : words)
+            word = r.getU64();
+        stream.importState(words);
+    }
+    counters_.sp_ecc_errors = r.getU64();
+    counters_.pisc_nacks = r.getU64();
+    counters_.xbar_drops = r.getU64();
+    counters_.xbar_delays = r.getU64();
+    counters_.dram_stalls = r.getU64();
+    counters_.retries = r.getU64();
+    counters_.lost_updates = r.getU64();
+    counters_.degraded_atomics = r.getU64();
+    counters_.lines_poisoned = r.getU64();
+    counters_.sp_demotions = r.getU64();
+    counters_.refetches = r.getU64();
+    counters_.injected_delay_cycles = r.getU64();
+    const std::uint64_t recorded = r.getU64();
+    if (recorded > kMaxRecordedEvents) {
+        throw SnapshotStateError(
+            "snapshot: recorded fault trace exceeds its cap");
+    }
+    events_.clear();
+    events_.reserve(recorded);
+    for (std::uint64_t i = 0; i < recorded; ++i) {
+        FaultEvent e;
+        e.kind = static_cast<FaultKind>(r.getU8());
+        e.component = r.getU32();
+        e.vertex = static_cast<VertexId>(r.getU32());
+        e.at = r.getU64();
+        events_.push_back(e);
+    }
+    total_events_ = r.getU64();
+    trace_digest_ = r.getU64();
+    line_errors_ = r.getU32Vector();
+    sp_faults_ = r.getU32Vector();
+}
+
 std::string
 FaultInjector::summary() const
 {

@@ -39,6 +39,7 @@
 
 #include "graph/types.hh"
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 #include "util/rng.hh"
 
 namespace omega {
@@ -244,6 +245,18 @@ class FaultInjector
     void writeJson(JsonWriter &w) const;
     /** Register campaign counters in @p group. */
     void addStats(StatGroup &group) const;
+
+    /**
+     * @name Snapshot support.
+     * Every random stream, counter, the recorded event trace and the
+     * persistent-fault maps. The plan itself is serialized via its
+     * canonical describe() string and cross-checked on restore — resuming
+     * under a different campaign would silently change every later draw.
+     * @{
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+    /** @} */
 
     /** Recorded-trace cap; see events(). */
     static constexpr std::size_t kMaxRecordedEvents = 1u << 16;

@@ -40,4 +40,33 @@ GraspMachine::configure(const MachineConfig &config)
         GraspPolicy::regionsFromConfig(config, kWarmFactor));
 }
 
+void
+GraspMachine::saveState(SnapshotWriter &w) const
+{
+    BaselineMachine::saveState(w);
+    const GraspPolicyStats &s = policy_->stats();
+    w.putU64(s.hot_inserts);
+    w.putU64(s.warm_inserts);
+    w.putU64(s.cold_inserts);
+    w.putU64(s.other_inserts);
+    w.putU64(s.distant_inserts);
+    w.putU64(s.promoted_hits);
+    w.putU64(s.unpromoted_hits);
+}
+
+void
+GraspMachine::restoreState(SnapshotReader &r)
+{
+    BaselineMachine::restoreState(r);
+    GraspPolicyStats s;
+    s.hot_inserts = r.getU64();
+    s.warm_inserts = r.getU64();
+    s.cold_inserts = r.getU64();
+    s.other_inserts = r.getU64();
+    s.distant_inserts = r.getU64();
+    s.promoted_hits = r.getU64();
+    s.unpromoted_hits = r.getU64();
+    policy_->restoreStats(s);
+}
+
 } // namespace omega

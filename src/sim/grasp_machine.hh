@@ -43,6 +43,11 @@ class GraspMachine final : public BaselineMachine
 
     const GraspPolicy &policy() const { return *policy_; }
 
+    /** Base machine state plus the policy's decision counters (the
+     *  region map itself is re-derived by configure() on resume). */
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
   private:
     /** Owned by the machine, installed on the hierarchy's L2; must be
      *  heap-allocated so its address outlives stat registration. */

@@ -5,6 +5,9 @@
 
 #include "sim/interval_stats.hh"
 
+#include <string>
+#include <utility>
+
 #include "util/json.hh"
 
 namespace omega {
@@ -102,6 +105,69 @@ IntervalRecorder::writeJson(JsonWriter &w) const
         w.endObject();
     }
     w.endArray();
+}
+
+void
+IntervalRecorder::save(SnapshotWriter &w) const
+{
+    w.putU64(cadence_);
+    w.putU64(next_cadence_);
+    prev_cum_.save(w);
+    w.putU64(samples_.size());
+    for (const IntervalSample &s : samples_) {
+        w.putU64(s.t);
+        w.putU8(static_cast<std::uint8_t>(s.kind));
+        w.putU64(s.iteration);
+        s.cum.save(w);
+        s.delta.save(w);
+        w.putU64(s.cores.size());
+        for (const CoreIntervalStats &c : s.cores) {
+            w.putU64(c.compute_cycles);
+            w.putU64(c.mem_stall_cycles);
+            w.putU64(c.atomic_stall_cycles);
+            w.putU64(c.sync_stall_cycles);
+        }
+        w.putU64Vector(s.pisc_busy_cycles);
+        w.putU64Vector(s.sp_accesses);
+    }
+}
+
+void
+IntervalRecorder::restore(SnapshotReader &r)
+{
+    const Cycles cadence = r.getU64();
+    if (cadence != cadence_) {
+        throw SnapshotStateError(
+            "snapshot: interval cadence mismatch (snapshot " +
+            std::to_string(cadence) + " cycles, run configured for " +
+            std::to_string(cadence_) + ")");
+    }
+    next_cadence_ = r.getU64();
+    prev_cum_.restore(r);
+    samples_.clear();
+    const std::uint64_t count = r.getU64();
+    samples_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        IntervalSample s;
+        s.t = r.getU64();
+        s.kind = static_cast<SampleKind>(r.getU8());
+        s.iteration = r.getU64();
+        s.cum.restore(r);
+        s.delta.restore(r);
+        const std::uint64_t cores = r.getU64();
+        s.cores.reserve(cores);
+        for (std::uint64_t c = 0; c < cores; ++c) {
+            CoreIntervalStats core;
+            core.compute_cycles = r.getU64();
+            core.mem_stall_cycles = r.getU64();
+            core.atomic_stall_cycles = r.getU64();
+            core.sync_stall_cycles = r.getU64();
+            s.cores.push_back(core);
+        }
+        s.pisc_busy_cycles = r.getU64Vector();
+        s.sp_accesses = r.getU64Vector();
+        samples_.push_back(std::move(s));
+    }
 }
 
 void

@@ -120,6 +120,17 @@ class IntervalRecorder
     /** Emit the series as a JSON array of sample objects. */
     void writeJson(JsonWriter &w) const;
 
+    /**
+     * @name Snapshot support.
+     * Every recorded sample plus the cadence/delta bookkeeping, so a
+     * resumed run's series is byte-identical to the uninterrupted one.
+     * Cadence is run configuration and must match on restore.
+     * @{
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+    /** @} */
+
     /** Drop all samples and restart the cadence clock. */
     void reset();
 

@@ -21,6 +21,7 @@
 #include "sim/access.hh"
 #include "sim/engine_ops.hh"
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 #include "sim/stats_report.hh"
 
 namespace omega {
@@ -236,6 +237,37 @@ class MemorySystem
     virtual AccessProfiler *profiler() { return nullptr; }
     /** @} */
 
+    /** @name Checkpoint/restore @{ */
+    /**
+     * Serialize every word of mutable machine state — clocks, tile
+     * state, the spine (caches, crossbar, DRAM, scratchpads), counters
+     * and any armed fault injector. Only meaningful at an iteration
+     * boundary (cores drained through a barrier, no scripted epoch in
+     * flight). Default: unsupported — a machine that does not override
+     * the pair cannot be checkpointed.
+     */
+    virtual void
+    saveState(SnapshotWriter &w) const
+    {
+        (void)w;
+        throw SnapshotStateError("snapshot: machine \"" + name() +
+                                 "\" does not support checkpointing");
+    }
+    /**
+     * Inverse of saveState(). The machine must already be configured for
+     * the same run (same graph, same params) — configuration is re-derived
+     * on resume, only mutable state is restored. Throws SnapshotStateError
+     * when the serialized state does not fit this machine.
+     */
+    virtual void
+    restoreState(SnapshotReader &r)
+    {
+        (void)r;
+        throw SnapshotStateError("snapshot: machine \"" + name() +
+                                 "\" does not support checkpointing");
+    }
+    /** @} */
+
     /** @name Scripted-replay statistics @{ */
     /**
      * Fold one scriptedFor phase's counters into the per-run totals.
@@ -252,6 +284,34 @@ class MemorySystem
     /** @} */
 
   protected:
+    /**
+     * @name Replay-stats snapshot helpers (for saveState overrides).
+     * blocking_waits is wall-clock-dependent (see ScriptReplayStats), so
+     * it is neither saved nor restored — a resumed run re-accumulates its
+     * own waits, keeping byte-compared output deterministic either way.
+     * @{
+     */
+    void
+    saveReplayStats(SnapshotWriter &w) const
+    {
+        w.putU64(replay_stats_.epochs);
+        w.putU64(replay_stats_.merged_items);
+        w.putU64(replay_stats_.merged_ops);
+        w.putU64(replay_stats_.max_queue_depth);
+        w.putU64(replay_stats_.concurrent_hook_items);
+    }
+    void
+    restoreReplayStats(SnapshotReader &r)
+    {
+        replay_stats_.epochs = r.getU64();
+        replay_stats_.merged_items = r.getU64();
+        replay_stats_.merged_ops = r.getU64();
+        replay_stats_.max_queue_depth = r.getU64();
+        replay_stats_.concurrent_hook_items = r.getU64();
+        replay_stats_.blocking_waits = 0;
+    }
+    /** @} */
+
     IntervalRecorder *recorder_ = nullptr;
     /** Scripted-replay totals (deliberately NOT in the stat tree, whose
      *  entry list is frozen by the pinned golden digests; the bench

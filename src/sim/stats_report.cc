@@ -128,6 +128,28 @@ StatsReport::hotVertexAccessFraction() const
 }
 
 void
+StatsReport::save(SnapshotWriter &w) const
+{
+    w.putU64(fields().size());
+    for (const StatsField &f : fields())
+        w.putU64(this->*f.member);
+}
+
+void
+StatsReport::restore(SnapshotReader &r)
+{
+    const std::uint64_t count = r.getU64();
+    if (count != fields().size()) {
+        throw SnapshotStateError(
+            "snapshot: stats report has " + std::to_string(count) +
+            " fields, this build has " +
+            std::to_string(fields().size()));
+    }
+    for (const StatsField &f : fields())
+        this->*f.member = r.getU64();
+}
+
+void
 StatsReport::accumulate(const StatsReport &other)
 {
     for (const StatsField &f : fields()) {

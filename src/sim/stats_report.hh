@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 
 namespace omega {
 
@@ -150,6 +151,17 @@ struct StatsReport
 
     /** Emit all counters as one JSON object value. */
     void writeJson(JsonWriter &w) const;
+
+    /**
+     * @name Snapshot support.
+     * Serialized through the reflection table (field count first), so a
+     * report saved by a build with a different counter set is rejected as
+     * a state error instead of silently shearing fields.
+     * @{
+     */
+    void save(SnapshotWriter &w) const;
+    void restore(SnapshotReader &r);
+    /** @} */
 };
 
 } // namespace omega

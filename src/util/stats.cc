@@ -6,9 +6,11 @@
 #include "util/stats.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <iomanip>
 #include <limits>
+#include <stdexcept>
 
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -57,6 +59,42 @@ Histogram::sample(double v)
             idx = buckets_.size() - 1;
         ++buckets_[idx];
     }
+}
+
+std::vector<std::uint64_t>
+Histogram::exportState() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(buckets_.size() + 7);
+    out.push_back(buckets_.size());
+    for (const std::uint64_t b : buckets_)
+        out.push_back(b);
+    out.push_back(underflow_);
+    out.push_back(overflow_);
+    out.push_back(count_);
+    out.push_back(std::bit_cast<std::uint64_t>(sum_));
+    out.push_back(std::bit_cast<std::uint64_t>(min_));
+    out.push_back(std::bit_cast<std::uint64_t>(max_));
+    return out;
+}
+
+void
+Histogram::importState(const std::vector<std::uint64_t> &state)
+{
+    if (state.size() != buckets_.size() + 7 ||
+        state[0] != buckets_.size()) {
+        throw std::invalid_argument(
+            "Histogram::importState: bucket geometry mismatch");
+    }
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] = state[1 + i];
+    std::size_t at = 1 + buckets_.size();
+    underflow_ = state[at++];
+    overflow_ = state[at++];
+    count_ = state[at++];
+    sum_ = std::bit_cast<double>(state[at++]);
+    min_ = std::bit_cast<double>(state[at++]);
+    max_ = std::bit_cast<double>(state[at++]);
 }
 
 double

@@ -81,6 +81,20 @@ class Histogram
     /** True when the buckets are log-spaced (see logSpaced()). */
     bool logSpacedBuckets() const { return log_; }
 
+    /**
+     * @name Snapshot support.
+     * The mutable accumulators as raw 64-bit words (doubles bit-cast);
+     * geometry (bounds, bucket count, spacing) is construction-time
+     * configuration and is NOT exported — importState() onto a
+     * differently shaped histogram throws std::invalid_argument.
+     * Exposed as plain words so util/ stays independent of the sim/
+     * snapshot layer.
+     * @{
+     */
+    std::vector<std::uint64_t> exportState() const;
+    void importState(const std::vector<std::uint64_t> &state);
+    /** @} */
+
   private:
     double lo_ = 0.0;
     double hi_ = 1.0;

@@ -13,12 +13,15 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "graph/datasets.hh"
+#include "sim/checkpoint.hh"
+#include "sim/snapshot.hh"
 #include "util/thread_pool.hh"
 
 namespace omega::bench {
@@ -216,6 +219,185 @@ armedSweep(unsigned jobs, const std::string &tag)
         runOn(sd, AlgorithmKind::PageRank, MachineKind::Omega);
     }
     return slurp(path);
+}
+
+TEST(BenchCliDeathTest, RejectsBadCheckpointFlags)
+{
+    EXPECT_EXIT(makeSession({"--checkpoint-every", "0"}),
+                ::testing::ExitedWithCode(2), "iteration count");
+    EXPECT_EXIT(makeSession({"--checkpoint-every", "banana"}),
+                ::testing::ExitedWithCode(2), "iteration count");
+    EXPECT_EXIT(makeSession({"--checkpoint-every", "5"}),
+                ::testing::ExitedWithCode(2), "requires --checkpoint");
+    EXPECT_EXIT(makeSession({"--checkpoint"}),
+                ::testing::ExitedWithCode(2), "requires an operand");
+    EXPECT_EXIT(makeSession({"--resume"}), ::testing::ExitedWithCode(2),
+                "requires an operand");
+}
+
+TEST(BenchCliDeathTest, RejectsUnwritableCheckpointPath)
+{
+    EXPECT_EXIT(
+        makeSession({"--checkpoint", "/nonexistent-dir/deep/run.snap"}),
+        ::testing::ExitedWithCode(2), "not writable");
+}
+
+TEST(BenchCliDeathTest, RejectsMissingResumeFile)
+{
+    EXPECT_EXIT(makeSession({"--resume",
+                             ::testing::TempDir() + "no-such.snap"}),
+                ::testing::ExitedWithCode(2), "cannot be opened");
+}
+
+TEST(BenchCliDeathTest, RejectsCheckpointCombinedWithTraceOrProfile)
+{
+    // Trace/profile documents cannot be stitched across an interrupted
+    // and a resumed process, so the combination is refused up front
+    // instead of producing silently incomplete observability output.
+    const std::string snap = ::testing::TempDir() + "combo.snap";
+    EXPECT_EXIT(makeSession({"--checkpoint", snap, "--trace",
+                             ::testing::TempDir() + "combo-trace.json"}),
+                ::testing::ExitedWithCode(2), "cannot be combined");
+    EXPECT_EXIT(makeSession({"--checkpoint", snap, "--profile",
+                             ::testing::TempDir() + "combo-prof.json"}),
+                ::testing::ExitedWithCode(2), "cannot be combined");
+}
+
+TEST(BenchCliDeathTest, CorruptResumeFileIsRejectedWithChecksumError)
+{
+    // Distinct from the usage errors: the file exists but fails
+    // verification, so the session reports the snapshot taxonomy
+    // message and exits 1.
+    const std::string path = ::testing::TempDir() + "corrupt.snap";
+    {
+        SnapshotWriter w;
+        for (std::uint64_t i = 0; i < 32; ++i)
+            w.putU64(i);
+        writeSnapshotFile(path, w.bytes());
+    }
+    // Flip one payload byte past the 28-byte header.
+    {
+        std::fstream f(path,
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekg(40);
+        char c = 0;
+        f.get(c);
+        f.seekp(40);
+        f.put(static_cast<char>(c ^ 0x20));
+    }
+    EXPECT_EXIT(makeSession({"--resume", path}),
+                ::testing::ExitedWithCode(1), "checksum");
+    std::remove(path.c_str());
+}
+
+/** Build argv and a live session the checkpoint tests can drive. */
+std::unique_ptr<BenchSession>
+liveSession(std::vector<std::string> arg_strings)
+{
+    arg_strings.insert(arg_strings.begin(), "bench_ckpt_test");
+    std::vector<char *> argv;
+    for (std::string &s : arg_strings)
+        argv.push_back(s.data());
+    return std::make_unique<BenchSession>("bench_ckpt_test",
+                                          static_cast<int>(argv.size()),
+                                          argv.data());
+}
+
+TEST(BenchCheckpoint, InterruptedSessionResumesToIdenticalJson)
+{
+    // End-to-end through the harness: interrupt a run at an iteration
+    // boundary (test hook — the same code path a latched SIGTERM
+    // takes), confirm the partial document says "interrupted", then
+    // resume in a second session and byte-compare its document against
+    // an uninterrupted reference session.
+    const std::string dir = ::testing::TempDir();
+    const std::string snap = dir + "cli_resume.snap";
+    const std::string j_int = dir + "cli_int.json";
+    const std::string j_res = dir + "cli_res.json";
+    const std::string j_ref = dir + "cli_ref.json";
+    const DatasetSpec sd = *findDataset("sd");
+
+    {
+        auto session =
+            liveSession({"--json", j_int, "--checkpoint", snap});
+        session->setRethrowInterrupt(true);
+        session->coordinator().test_stop =
+            [](std::uint64_t it) { return it == 1; };
+        bool interrupted = false;
+        try {
+            runOn(sd, AlgorithmKind::BFS, MachineKind::Omega);
+        } catch (const CheckpointInterrupt &) {
+            interrupted = true;
+        }
+        EXPECT_TRUE(interrupted);
+    }
+    const std::string partial = slurp(j_int);
+    EXPECT_NE(partial.find("\"status\": \"interrupted\""),
+              std::string::npos)
+        << partial;
+    EXPECT_NE(partial.find("\"checkpoint\""), std::string::npos);
+
+    {
+        auto session = liveSession({"--json", j_res, "--resume", snap});
+        runOn(sd, AlgorithmKind::BFS, MachineKind::Omega);
+    }
+    {
+        auto session = liveSession({"--json", j_ref});
+        runOn(sd, AlgorithmKind::BFS, MachineKind::Omega);
+    }
+    EXPECT_EQ(slurp(j_res), slurp(j_ref))
+        << "resumed document diverged from the uninterrupted reference";
+    for (const std::string &p : {snap, j_int, j_res, j_ref})
+        std::remove(p.c_str());
+}
+
+TEST(BenchCheckpoint, JournalServesCompletedRunsAfterInterrupt)
+{
+    // A sweep session completes run A, then is interrupted inside run
+    // B. The resumed session must serve A from the journal (no
+    // re-simulation) and B from the snapshot, and its document must be
+    // byte-identical to a session that ran both uninterrupted.
+    const std::string dir = ::testing::TempDir();
+    const std::string snap = dir + "cli_journal.snap";
+    const std::string j_res = dir + "cli_journal_res.json";
+    const std::string j_ref = dir + "cli_journal_ref.json";
+    const DatasetSpec sd = *findDataset("sd");
+
+    {
+        auto session = liveSession(
+            {"--json", dir + "cli_journal_int.json", "--checkpoint",
+             snap});
+        session->setRethrowInterrupt(true);
+        runOn(sd, AlgorithmKind::BFS, MachineKind::Baseline); // journaled
+        session->coordinator().test_stop =
+            [](std::uint64_t it) { return it == 1; };
+        bool interrupted = false;
+        try {
+            runOn(sd, AlgorithmKind::BFS, MachineKind::Omega);
+        } catch (const CheckpointInterrupt &) {
+            interrupted = true;
+        }
+        EXPECT_TRUE(interrupted);
+    }
+    {
+        // Same --checkpoint path: picks up the journal; --resume picks
+        // up the snapshot of the interrupted run.
+        auto session = liveSession(
+            {"--json", j_res, "--checkpoint", snap, "--resume", snap});
+        runOn(sd, AlgorithmKind::BFS, MachineKind::Baseline);
+        runOn(sd, AlgorithmKind::BFS, MachineKind::Omega);
+    }
+    {
+        auto session = liveSession({"--json", j_ref});
+        runOn(sd, AlgorithmKind::BFS, MachineKind::Baseline);
+        runOn(sd, AlgorithmKind::BFS, MachineKind::Omega);
+    }
+    EXPECT_EQ(slurp(j_res), slurp(j_ref))
+        << "journal-resumed document diverged from the reference";
+    for (const std::string &p :
+         {snap, snap + ".journal", dir + "cli_journal_int.json", j_res,
+          j_ref})
+        std::remove(p.c_str());
 }
 
 TEST(FaultSweep, CampaignOutputIsJobCountInvariantAndRepeatable)

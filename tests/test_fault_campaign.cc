@@ -17,15 +17,21 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "omega/omega_machine.hh"
 #include "sim/baseline_machine.hh"
+#include "sim/checkpoint.hh"
 #include "sim/fault.hh"
 #include "sim/params.hh"
+#include "sim/snapshot.hh"
 #include "testing/capture.hh"
 #include "testing/differential.hh"
 #include "testing/fuzz.hh"
+#include "util/json.hh"
+#include "util/stats.hh"
 
 namespace omega {
 namespace {
@@ -144,6 +150,86 @@ TEST(FaultCampaign, ForcedDegradationMatchesFunctionalReference)
         ASSERT_FALSE(result.skipped);
         EXPECT_TRUE(result.passed()) << result.summary();
     }
+}
+
+/** Digest of an armed run: cycles + full stat tree + the injector's
+ *  event totals and running trace digest (the event log state). */
+std::uint64_t
+armedDigest(const MemorySystem &m)
+{
+    std::ostringstream os;
+    os << m.name() << '|' << m.cycles() << '|';
+    const StatGroup *tree = m.statTree();
+    EXPECT_NE(tree, nullptr);
+    if (tree != nullptr) {
+        JsonWriter w(os, /*pretty=*/false);
+        tree->writeJson(w);
+        EXPECT_TRUE(w.complete());
+    }
+    EXPECT_NE(m.faultInjector(), nullptr);
+    if (m.faultInjector() != nullptr) {
+        os << '|' << m.faultInjector()->totalEvents() << '|'
+           << m.faultInjector()->traceDigest();
+    }
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : os.str()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+TEST(FaultCampaign, ArmedResumeReproducesUninterruptedDigest)
+{
+    // A checkpoint taken mid-campaign carries the injector's xorshift
+    // stream, escalation counters and running trace digest; the resumed
+    // run must fire the exact remaining fault sequence. Checked over
+    // both machine families and sim_threads {1, 8}.
+    const Graph g = campaignGraph().materialize();
+    const FaultPlan plan = transientPlan();
+    const std::string path =
+        ::testing::TempDir() + "armed_resume.snap";
+    for (Machine which : {Machine::Baseline, Machine::Omega}) {
+        auto ref = makeMachine(which);
+        ref->armFaults(plan);
+        EngineOptions ref_opts;
+        (void)runAlgorithmOnMachine(AlgorithmKind::BFS, g, ref.get(),
+                                    ref_opts);
+        const std::uint64_t uninterrupted = armedDigest(*ref);
+
+        for (const unsigned threads : {1u, 8u}) {
+            const std::string key = "armed/" + ref->name();
+            CheckpointCoordinator coord;
+            coord.configureSave(path, /*every=*/0);
+            coord.test_stop = [](std::uint64_t it) { return it == 2; };
+            coord.beginRun(key);
+            {
+                auto m = makeMachine(which);
+                m->armFaults(plan);
+                EngineOptions opts;
+                opts.sim_threads = threads;
+                opts.checkpoint = &coord;
+                EXPECT_THROW(runAlgorithmOnMachine(AlgorithmKind::BFS, g,
+                                                   m.get(), opts),
+                             CheckpointInterrupt);
+            }
+            CheckpointCoordinator resume;
+            resume.setResumePayload(readSnapshotFile(path));
+            resume.beginRun(key);
+            auto m = makeMachine(which);
+            m->armFaults(plan);
+            EngineOptions opts;
+            opts.sim_threads = threads;
+            opts.checkpoint = &resume;
+            (void)runAlgorithmOnMachine(AlgorithmKind::BFS, g, m.get(),
+                                        opts);
+            EXPECT_FALSE(resume.resumePending());
+            EXPECT_EQ(armedDigest(*m), uninterrupted)
+                << m->name() << " armed resume diverged at sim_threads="
+                << threads;
+        }
+    }
+    std::remove(path.c_str());
 }
 
 TEST(FaultCampaign, DegradedRunLandsOnCachePath)

@@ -23,13 +23,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "algorithms/algorithms.hh"
+#include "sim/checkpoint.hh"
 #include "sim/fault.hh"
 #include "sim/machine_registry.hh"
+#include "sim/snapshot.hh"
 #include "testing/fuzz.hh"
 #include "util/json.hh"
 #include "util/stats.hh"
@@ -73,6 +76,26 @@ const std::vector<std::string> kMachines = {"baseline", "grasp", "omega",
  * blocking_waits).
  */
 std::uint64_t
+outcomeDigest(const std::string &machine, Cycles cycles,
+              const MemorySystem &m)
+{
+    std::ostringstream os;
+    os << machine << '|' << cycles << '|';
+    const StatGroup *tree = m.statTree();
+    EXPECT_NE(tree, nullptr) << machine << " has no stat tree";
+    if (tree != nullptr) {
+        JsonWriter w(os, /*pretty=*/false);
+        tree->writeJson(w);
+        EXPECT_TRUE(w.complete());
+    }
+    const ScriptReplayStats &rs = m.replayStats();
+    os << '|' << rs.epochs << '|' << rs.merged_items << '|'
+       << rs.merged_ops << '|' << rs.max_queue_depth << '|'
+       << rs.concurrent_hook_items;
+    return fnv1a(os.str());
+}
+
+std::uint64_t
 runDigest(const Graph &g, const std::string &machine, AlgorithmKind algo,
           unsigned sim_threads, const FaultPlan *faults = nullptr)
 {
@@ -83,21 +106,57 @@ runDigest(const Graph &g, const std::string &machine, AlgorithmKind algo,
     EngineOptions opts;
     opts.sim_threads = sim_threads;
     const Cycles cycles = runAlgorithmOnMachine(algo, g, m.get(), opts);
+    return outcomeDigest(machine, cycles, *m);
+}
 
-    std::ostringstream os;
-    os << machine << '|' << cycles << '|';
-    const StatGroup *tree = m->statTree();
-    EXPECT_NE(tree, nullptr) << machine << " has no stat tree";
-    if (tree != nullptr) {
-        JsonWriter w(os, /*pretty=*/false);
-        tree->writeJson(w);
-        EXPECT_TRUE(w.complete());
+/**
+ * Interrupt the run at iteration @p stop under @p save_threads script
+ * workers, then restore the flushed checkpoint into a fresh machine and
+ * finish under @p resume_threads workers. The digest must be invariant
+ * in BOTH knobs: which worker count took the snapshot and which one
+ * resumed it.
+ */
+std::uint64_t
+resumeDigest(const Graph &g, const std::string &machine,
+             AlgorithmKind algo, std::uint64_t stop,
+             unsigned save_threads, unsigned resume_threads,
+             const FaultPlan *faults = nullptr)
+{
+    const std::string path = ::testing::TempDir() + "simthreads_" +
+                             machine + "_" +
+                             std::to_string(save_threads) + "_" +
+                             std::to_string(resume_threads) + ".snap";
+    const std::string key = "resume/" + machine;
+    const MachineRegistryEntry &entry = machineEntry(machine);
+
+    CheckpointCoordinator coord;
+    coord.configureSave(path, /*every=*/0);
+    coord.test_stop = [stop](std::uint64_t it) { return it == stop; };
+    coord.beginRun(key);
+    {
+        auto m = entry.make(entry.make_params());
+        if (faults != nullptr)
+            m->armFaults(*faults);
+        EngineOptions opts;
+        opts.sim_threads = save_threads;
+        opts.checkpoint = &coord;
+        EXPECT_THROW(runAlgorithmOnMachine(algo, g, m.get(), opts),
+                     CheckpointInterrupt);
     }
-    const ScriptReplayStats &rs = m->replayStats();
-    os << '|' << rs.epochs << '|' << rs.merged_items << '|'
-       << rs.merged_ops << '|' << rs.max_queue_depth << '|'
-       << rs.concurrent_hook_items;
-    return fnv1a(os.str());
+
+    CheckpointCoordinator resume;
+    resume.setResumePayload(readSnapshotFile(path));
+    resume.beginRun(key);
+    auto m = entry.make(entry.make_params());
+    if (faults != nullptr)
+        m->armFaults(*faults);
+    EngineOptions opts;
+    opts.sim_threads = resume_threads;
+    opts.checkpoint = &resume;
+    const Cycles cycles = runAlgorithmOnMachine(algo, g, m.get(), opts);
+    EXPECT_FALSE(resume.resumePending()) << machine << ": never restored";
+    std::remove(path.c_str());
+    return outcomeDigest(machine, cycles, *m);
 }
 
 void
@@ -130,6 +189,27 @@ TEST(SimThreads, BfsDigestIsThreadCountInvariant)
     // Push edgeMap with frontier switching and atomics: the buffered
     // path, plus scripted vertexMaps from the frontier bookkeeping.
     expectInvariant(AlgorithmKind::BFS);
+}
+
+TEST(SimThreads, ResumeDigestIsThreadCountInvariant)
+{
+    // Checkpoint/resume must compose with intra-run parallelism: a
+    // snapshot taken under one worker count and resumed under another
+    // still reproduces the single-threaded uninterrupted run. BFS is
+    // the multi-round algorithm with the liveliest snapshot (frontier +
+    // atomics on the buffered push path).
+    const Graph g =
+        FuzzSpec{FuzzFamily::Rmat, 7, 256, 8, true}.materialize();
+    for (const std::string &machine : kMachines) {
+        const std::uint64_t one =
+            runDigest(g, machine, AlgorithmKind::BFS, 1);
+        EXPECT_EQ(resumeDigest(g, machine, AlgorithmKind::BFS, 2, 1, 8),
+                  one)
+            << machine << ": save@1 resume@8 diverged";
+        EXPECT_EQ(resumeDigest(g, machine, AlgorithmKind::BFS, 2, 8, 1),
+                  one)
+            << machine << ": save@8 resume@1 diverged";
+    }
 }
 
 TEST(SimThreads, FaultArmedDigestIsThreadCountInvariant)
